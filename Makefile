@@ -1,0 +1,29 @@
+# Developer conveniences. Everything is plain pytest/python underneath.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench report examples clean
+
+install:
+	$(PYTHON) -m pip install -e .[dev] || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:  ## skip the slow end-to-end suites
+	$(PYTHON) -m pytest tests/ \
+		--ignore=tests/integration/test_repro_report.py \
+		--ignore=tests/integration/test_example_scripts.py
+
+bench:  ## regenerate every paper artifact (benchmarks/results/)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:  ## one-shot reproduction verdict
+	$(PYTHON) -m repro report --budget 0.3 --output reproduction-report.md
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f >/dev/null || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results reproduction-report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,37 @@
+"""AD-3 and AD-4 property grids (§4.3, §4.4).
+
+The paper states these as deltas from Tables 1 and 2:
+
+* AD-3: "very similar to Table 1 except that the last row (Aggressive
+  Triggering) is also consistent" (Theorem 7 guarantees consistency).
+* AD-4: "very similar to Table 2 except that Aggressive Triggering also
+  becomes consistent" (Theorem 9: ordered AND consistent everywhere).
+"""
+
+from benchmarks.conftest import save_result
+from repro.analysis.tables import build_table, render_table
+
+TRIALS = 150
+N_UPDATES = 40
+
+
+def test_ad3_grid(benchmark):
+    result = benchmark.pedantic(
+        lambda: build_table("ad3", trials=TRIALS, n_updates=N_UPDATES),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_table(result)
+    save_result("ad3", text)
+    assert result.matches_paper(), text
+
+
+def test_ad4_grid(benchmark):
+    result = benchmark.pedantic(
+        lambda: build_table("ad4", trials=TRIALS, n_updates=N_UPDATES),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_table(result)
+    save_result("ad4", text)
+    assert result.matches_paper(), text

@@ -1,0 +1,40 @@
+"""Theorems 6 and 8 — the domination order among AD algorithms (§4.1).
+
+* Theorem 6: AD-1 > AD-2 — AD-1's output is always a supersequence of
+  AD-2's on the same arrival stream, strictly so on some streams.
+* Theorem 8: AD-1 > AD-3 — likewise.
+* Extension: AD-1 > AD-4 (implied: AD-4 filters whatever either parent
+  filters).
+
+The bench replays hundreds of simulated arrival streams (drawn across all
+four scenario rows) through fresh copies of both algorithms per pair and
+verifies the supersequence relation stream by stream.
+"""
+
+from benchmarks.conftest import save_result
+from repro.analysis.experiments import domination_experiment
+
+TRIALS = 400
+N_UPDATES = 35
+
+
+def test_domination(benchmark):
+    results = benchmark.pedantic(
+        lambda: domination_experiment(trials=TRIALS, n_updates=N_UPDATES),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Domination (paper: dominates=always, strict witness exists)"]
+    lines.append(f"{'pair':<24} {'streams':>8} {'violations':>11} {'strict':>7}")
+    ok = True
+    for name, result in results.items():
+        lines.append(
+            f"{name:<24} {result.streams:>8} {result.violations:>11} "
+            f"{result.strict_witnesses:>7}"
+        )
+        ok = ok and result.dominates and result.strictly_dominates
+    text = "\n".join(lines) + f"\npaper agreement: {'YES' if ok else 'NO'}"
+    save_result("domination", text)
+    for name, result in results.items():
+        assert result.dominates, f"{name}: domination violated"
+        assert result.strictly_dominates, f"{name}: no strictness witness found"

@@ -1,0 +1,129 @@
+"""Micro-benchmarks (not in the paper): throughput of the moving parts.
+
+Times the CE evaluation loop and each AD filtering algorithm over long
+replayed streams — the operational cost of the guarantees.  AD-1 pays a
+set lookup per alert, AD-2/AD-5 an O(1) compare, AD-3/AD-4/AD-6 set
+algebra over history spans; all should be microseconds per alert.
+"""
+
+import random
+
+import pytest
+
+from repro.core.condition import c1, c2, cm
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.update import Update
+from repro.displayers import AD1, AD2, AD3, AD4, AD5, AD6
+from tests.conftest import alert_deg2, alert_xy
+
+N_ALERTS = 2000
+
+
+def _deg2_stream():
+    rng = random.Random(7)
+    stream = []
+    for _ in range(N_ALERTS):
+        head = rng.randint(5, 500)
+        stream.append(alert_deg2(head, head - rng.randint(1, 3)))
+    return stream
+
+
+def _xy_stream():
+    rng = random.Random(8)
+    return [
+        alert_xy(rng.randint(1, 300), rng.randint(1, 300))
+        for _ in range(N_ALERTS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def deg2_stream():
+    return _deg2_stream()
+
+
+@pytest.fixture(scope="module")
+def xy_stream():
+    return _xy_stream()
+
+
+def test_evaluator_throughput_c1(benchmark):
+    updates = [
+        Update("x", i + 1, 2900.0 + (i % 7) * 50.0) for i in range(N_ALERTS)
+    ]
+
+    def run():
+        ce = ConditionEvaluator(c1())
+        ce.ingest_all(updates)
+        return len(ce.alerts)
+
+    assert benchmark(run) > 0
+
+
+def test_evaluator_throughput_c2(benchmark):
+    rng = random.Random(9)
+    updates = [
+        Update("x", i + 1, 1000.0 + rng.uniform(-300, 300)) for i in range(N_ALERTS)
+    ]
+
+    def run():
+        ce = ConditionEvaluator(c2())
+        ce.ingest_all(updates)
+        return len(ce.received)
+
+    assert benchmark(run) == N_ALERTS
+
+
+def test_evaluator_throughput_cm(benchmark):
+    rng = random.Random(10)
+    updates = []
+    for i in range(N_ALERTS // 2):
+        updates.append(Update("x", i + 1, 1000.0 + rng.uniform(-200, 200)))
+        updates.append(Update("y", i + 1, 1000.0 + rng.uniform(-200, 200)))
+
+    def run():
+        ce = ConditionEvaluator(cm())
+        ce.ingest_all(updates)
+        return len(ce.received)
+
+    assert benchmark(run) == N_ALERTS
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [AD1, lambda: AD2("x"), lambda: AD3("x"), lambda: AD4("x")],
+    ids=["AD-1", "AD-2", "AD-3", "AD-4"],
+)
+def test_single_variable_ad_throughput(benchmark, deg2_stream, factory):
+    def run():
+        ad = factory()
+        ad.offer_all(deg2_stream)
+        return len(ad.output)
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [lambda: AD5(("x", "y")), lambda: AD6(("x", "y"))],
+    ids=["AD-5", "AD-6"],
+)
+def test_multi_variable_ad_throughput(benchmark, xy_stream, factory):
+    def run():
+        ad = factory()
+        ad.offer_all(xy_stream)
+        return len(ad.output)
+
+    assert benchmark(run) > 0
+
+
+def test_simulation_throughput(benchmark):
+    """End-to-end: a full 2-CE run per iteration."""
+    from repro.components.system import SystemConfig, run_system
+
+    workload = {"x": [(t * 10.0, 2900.0 + (t % 9) * 40.0) for t in range(100)]}
+    config = SystemConfig(replication=2, front_loss=0.2)
+
+    def run():
+        return len(run_system(c1(), workload, config, seed=3).displayed)
+
+    benchmark(run)

@@ -1,0 +1,79 @@
+"""§2 wire-format ablation: how many bytes must an alert carry?
+
+The paper observes that alerts need not ship full histories: AD-1 only
+equality-tests them (a checksum suffices), AD-2/AD-5 read one seqno per
+variable, AD-3/AD-4/AD-6 need the seqno lists.  This bench quantifies the
+bandwidth each choice costs across degrees, and times the checksum
+variant of AD-1 against the reference to show the equality-test
+optimisation is free.
+"""
+
+import random
+
+from benchmarks.conftest import save_result
+from repro.core.alert import make_alert
+from repro.core.update import Update
+from repro.core.wire import (
+    AlertEncoding,
+    ChecksumAD1,
+    encode_alert,
+    minimum_encoding,
+)
+from repro.displayers.ad1 import AD1
+from repro.displayers.registry import algorithm_names
+
+N_ALERTS = 2000
+
+
+def _alert_of_degree(degree: int, head: int):
+    updates = [Update("x", head - i, float(i)) for i in range(degree)]
+    return make_alert("c", {"x": updates})
+
+
+def test_wire_sizes(benchmark):
+    def run():
+        rows = []
+        for degree in (1, 2, 5, 10):
+            alert = _alert_of_degree(degree, head=100)
+            sizes = {
+                enc.value: encode_alert(alert, enc).size_bytes
+                for enc in AlertEncoding
+            }
+            rows.append((degree, sizes))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Alert wire size (bytes) by history degree and encoding"]
+    lines.append(f"{'degree':>7} {'full':>6} {'seqnos':>7} {'heads':>6} {'checksum':>9}")
+    for degree, sizes in rows:
+        lines.append(
+            f"{degree:>7} {sizes['full']:>6} {sizes['seqnos']:>7} "
+            f"{sizes['heads']:>6} {sizes['checksum']:>9}"
+        )
+    lines.append("")
+    lines.append("minimum encoding per algorithm (§2):")
+    for name in algorithm_names():
+        lines.append(f"  {name:<6} -> {minimum_encoding(name).value}")
+    text = "\n".join(lines)
+    save_result("wire_sizes", text)
+
+    # FULL grows with degree; CHECKSUM is constant; HEADS <= SEQNOS <= FULL.
+    for degree, sizes in rows:
+        assert sizes["full"] >= sizes["seqnos"] >= sizes["heads"] >= 0
+    assert rows[0][1]["checksum"] == rows[-1][1]["checksum"]
+
+
+def test_checksum_ad1_equivalence_and_speed(benchmark):
+    rng = random.Random(4)
+    stream = [
+        _alert_of_degree(3, head=rng.randint(5, 400)) for _ in range(N_ALERTS)
+    ]
+    reference = AD1()
+    reference_decisions = [reference.offer(a) for a in stream]
+
+    def run():
+        ad = ChecksumAD1()
+        return [ad.offer(a) for a in stream]
+
+    decisions = benchmark(run)
+    assert decisions == reference_decisions

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (a table, a theorem claim,
+or the Figure-1 motivation sweep), prints the regenerated rows, and saves
+them under ``benchmarks/results/`` so EXPERIMENTS.md can reference them.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Timing is reported by pytest-benchmark; the artifact checks are plain
+assertions, so a benchmark run is also a correctness run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print an artifact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

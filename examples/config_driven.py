@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Config-driven monitoring: conditions from text, workloads from CSV.
+
+A deployment doesn't hard-code its conditions: operators write them in
+config files and feed recorded sensor logs back through the system.
+This example round-trips both paths:
+
+1. write a sensor log as CSV, load it back as a workload;
+2. parse condition definitions from plain text (whitelisted grammar —
+   nothing is executed);
+3. run the replicated system and score the paper's three properties;
+4. save a minimized counterexample to JSON when a violation shows up.
+
+Run:  python examples/config_driven.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core.parser import parse_condition
+from repro.components.system import SystemConfig, run_system
+from repro.workloads.csv_io import load_workload, save_workload
+from repro.simulation.rng import RandomStreams
+from repro.workloads.generators import rising_runs
+
+CONDITION_DEFINITIONS = {
+    # name: (expression text, conservative?)
+    "overheat": ("H.x[0].value > 1300", False),
+    "spike": ("H.x[0].value - H.x[-1].value > 200", False),
+    "spike_strict": (
+        "H.x[0].value - H.x[-1].value > 200 "
+        "and H.x[0].seqno == H.x[-1].seqno + 1",
+        True,
+    ),
+}
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-config-"))
+
+    # 1. Record a sensor log to CSV and load it back.
+    streams = RandomStreams(2001)
+    recorded = {"x": rising_runs(streams.stream("sensor"), 30)}
+    log_path = workdir / "sensor_log.csv"
+    save_workload(recorded, str(log_path))
+    workload = load_workload(str(log_path))
+    print(f"sensor log: {log_path} ({len(workload['x'])} readings)")
+
+    # 2. Parse the condition definitions.
+    conditions = {
+        name: parse_condition(name, text, conservative=conservative)
+        for name, (text, conservative) in CONDITION_DEFINITIONS.items()
+    }
+    for name, condition in conditions.items():
+        kind = "conservative" if condition.is_conservative else "aggressive"
+        print(f"condition {name!r}: degree {condition.degree('x')}, {kind}")
+
+    # 3. Run each condition through a replicated system.
+    config = SystemConfig(replication=2, ad_algorithm="AD-1", front_loss=0.3)
+    print(f"\n{'condition':<14} {'alerts':>7} {'ordered':>8} "
+          f"{'complete':>9} {'consistent':>11}")
+    violating_run = None
+    for name, condition in conditions.items():
+        result = run_system(condition, workload, config, seed=11)
+        report = result.evaluate_properties()
+        summary = report.summary
+        print(f"{name:<14} {len(result.displayed):>7} "
+              f"{str(summary['ordered']):>8} {str(summary['complete']):>9} "
+              f"{str(summary['consistent']):>11}")
+        if summary["consistent"] is False and violating_run is None:
+            violating_run = result
+
+    # 4. Persist a minimized counterexample for the bug report.
+    if violating_run is not None:
+        from repro.analysis.witness import (
+            counterexample_from_run,
+            shrink_counterexample,
+        )
+        from repro.core.serialization import dump_counterexample
+        from repro.displayers.registry import make_ad
+
+        counterexample = counterexample_from_run(violating_run)
+        shrunk = shrink_counterexample(
+            counterexample,
+            lambda: make_ad("AD-1", violating_run.condition),
+        )
+        bug_path = workdir / "counterexample.json"
+        dump_counterexample(shrunk, str(bug_path))
+        print(f"\nminimized inconsistency witness saved to {bug_path}:")
+        print(json.dumps(json.loads(bug_path.read_text())["traces"], indent=1))
+    else:
+        print("\nno consistency violation at this seed — "
+              "try more seeds (the aggressive 'spike' condition produces "
+              "them readily at 30% loss).")
+
+
+if __name__ == "__main__":
+    main()

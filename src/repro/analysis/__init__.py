@@ -1,0 +1,116 @@
+"""Analysis: run metrics, table regeneration, experiment drivers."""
+
+from repro.analysis.experiments import (
+    AvailabilityPoint,
+    availability_experiment,
+    collect_arrival_streams,
+    consistency_property,
+    domination_experiment,
+    maximality_experiment,
+    strict_orderedness_property,
+)
+from repro.analysis.timeline import (
+    TimelineEvent,
+    TimelineRecorder,
+    render_logical_timeline,
+)
+from repro.analysis.witness import (
+    Counterexample,
+    counterexample_from_run,
+    find_violation,
+    replay,
+    shrink_counterexample,
+)
+from repro.analysis.compare import (
+    AlgorithmComparison,
+    ComparisonRow,
+    compare_algorithms,
+    compare_run,
+)
+from repro.analysis.parallel import build_table_parallel, run_trials
+from repro.analysis.latency import (
+    LatencyStats,
+    NotificationLatency,
+    latency_stats,
+    notification_latencies,
+)
+from repro.analysis.metrics import (
+    DeliveryStats,
+    back_link_bytes,
+    RunMetrics,
+    collect_metrics,
+    delivery_stats,
+)
+from repro.analysis.repro_report import (
+    ReproductionReport,
+    SectionResult,
+    generate_report,
+)
+from repro.analysis.stats import (
+    RateEstimate,
+    estimate_rate,
+    rates_differ,
+    wilson_interval,
+)
+from repro.analysis.sweeps import (
+    SweepPoint,
+    loss_sweep,
+    render_sweep,
+    replication_sweep,
+)
+from repro.analysis.tables import (
+    EXPECTED_GRIDS,
+    TableResult,
+    build_table,
+    grid_matches,
+    render_table,
+)
+
+__all__ = [
+    "AvailabilityPoint",
+    "AlgorithmComparison",
+    "ComparisonRow",
+    "Counterexample",
+    "build_table_parallel",
+    "compare_algorithms",
+    "compare_run",
+    "run_trials",
+    "LatencyStats",
+    "NotificationLatency",
+    "latency_stats",
+    "notification_latencies",
+    "RateEstimate",
+    "ReproductionReport",
+    "SectionResult",
+    "estimate_rate",
+    "generate_report",
+    "rates_differ",
+    "wilson_interval",
+    "SweepPoint",
+    "TimelineEvent",
+    "TimelineRecorder",
+    "counterexample_from_run",
+    "find_violation",
+    "loss_sweep",
+    "render_logical_timeline",
+    "render_sweep",
+    "replay",
+    "replication_sweep",
+    "shrink_counterexample",
+    "DeliveryStats",
+    "back_link_bytes",
+    "EXPECTED_GRIDS",
+    "RunMetrics",
+    "TableResult",
+    "availability_experiment",
+    "build_table",
+    "collect_arrival_streams",
+    "collect_metrics",
+    "consistency_property",
+    "delivery_stats",
+    "domination_experiment",
+    "grid_matches",
+    "maximality_experiment",
+    "render_table",
+    "strict_orderedness_property",
+]

@@ -1,0 +1,118 @@
+"""Alert notification latency.
+
+Section 1's full claim is that replication "reduces the probability that
+a critical alert will not be delivered **on time** (or at all)".  The
+availability experiment measures the "at all" half; this module measures
+"on time": for every ground-truth alert (what an ideal co-located CE
+would raise), how long after the *triggering broadcast* did the first
+matching alert reach the user's display?
+
+With replication, the fastest replica wins each race — so even when no
+alert is lost outright, adding CEs shortens the notification tail.
+``benchmarks/bench_latency.py`` quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import _ground_truth_updates
+from repro.components.system import RunResult
+from repro.core.reference import apply_T
+
+__all__ = ["NotificationLatency", "LatencyStats", "notification_latencies", "latency_stats"]
+
+
+@dataclass(frozen=True)
+class NotificationLatency:
+    """One ground-truth alert's delivery outcome."""
+
+    #: Alert identity (condname + history seqnos).
+    identity: tuple
+    #: Simulated time of the broadcast that should trigger it.
+    triggered_at: float
+    #: Simulated time the first matching alert reached the display
+    #: (None when the alert never arrived — a miss).
+    first_displayed_at: float | None
+
+    @property
+    def latency(self) -> float | None:
+        if self.first_displayed_at is None:
+            return None
+        return self.first_displayed_at - self.triggered_at
+
+
+def notification_latencies(run: RunResult) -> list[NotificationLatency]:
+    """Per-ground-truth-alert first-notification latency for one run.
+
+    Ground truth comes from replaying T over the broadcast log; the
+    triggering time of an alert is the broadcast time of its newest
+    history update.  Matching is by alert identity, and "displayed" means
+    it survived the AD's filter.
+    """
+    broadcast_time: dict[tuple[str, int], float] = {}
+    for time, update in run.sent_log:
+        broadcast_time[(update.varname, update.seqno)] = time
+
+    # First display time per identity: displayed alerts are a subsequence
+    # of arrivals, displayed at their arrival instant.
+    display_ids = {id(a) for a in run.displayed}
+    first_display: dict[tuple, float] = {}
+    for alert, time in zip(run.ad_arrivals, run.ad_arrival_times):
+        if id(alert) in display_ids:
+            first_display.setdefault(alert.identity(), time)
+
+    results = []
+    for alert in apply_T(run.condition, _ground_truth_updates(run)):
+        # The triggering update is the newest history entry across
+        # variables (the one whose arrival fired the evaluation).
+        triggered_at = max(
+            broadcast_time[(var, alert.histories.seqno(var))]
+            for var in alert.variables
+        )
+        results.append(
+            NotificationLatency(
+                identity=alert.identity(),
+                triggered_at=triggered_at,
+                first_displayed_at=first_display.get(alert.identity()),
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Aggregate first-notification latency over one or more runs."""
+
+    expected: int
+    delivered: int
+    mean: float
+    median: float
+    p95: float
+
+    @property
+    def miss_fraction(self) -> float:
+        if self.expected == 0:
+            return 0.0
+        return 1.0 - self.delivered / self.expected
+
+
+def latency_stats(latencies: list[NotificationLatency]) -> LatencyStats:
+    """Summarise a collection of per-alert outcomes."""
+    delivered = [entry.latency for entry in latencies if entry.latency is not None]
+    if delivered:
+        array = np.asarray(delivered, dtype=float)
+        mean = float(array.mean())
+        median = float(np.median(array))
+        p95 = float(np.percentile(array, 95))
+    else:
+        mean = median = p95 = float("nan")
+    return LatencyStats(
+        expected=len(latencies),
+        delivered=len(delivered),
+        mean=mean,
+        median=median,
+        p95=p95,
+    )

@@ -1,0 +1,119 @@
+"""Run metrics: loss, alert volumes, and alert-delivery statistics.
+
+Besides the three formal properties, the benchmarks report operational
+metrics — how many updates were lost, how many alerts each stage saw, and
+(for the availability experiment motivating Figure 1) whether the *ground
+truth* alerts were delivered to the user at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.components.system import RunResult
+from repro.core.alert import alert_identity_set
+from repro.core.reference import apply_T
+
+__all__ = ["RunMetrics", "DeliveryStats", "collect_metrics", "delivery_stats"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Volume counters for one run."""
+
+    updates_sent: int
+    updates_received_per_ce: tuple[int, ...]
+    alerts_generated_per_ce: tuple[int, ...]
+    alerts_arrived: int
+    alerts_displayed: int
+    alerts_filtered: int
+
+    @property
+    def mean_loss_fraction(self) -> float:
+        """Average fraction of sent updates each CE failed to receive."""
+        if self.updates_sent == 0:
+            return 0.0
+        fractions = [
+            1.0 - received / self.updates_sent
+            for received in self.updates_received_per_ce
+        ]
+        return sum(fractions) / len(fractions)
+
+    @property
+    def filter_fraction(self) -> float:
+        """Fraction of arriving alerts the AD filtered out."""
+        if self.alerts_arrived == 0:
+            return 0.0
+        return self.alerts_filtered / self.alerts_arrived
+
+
+def collect_metrics(run: RunResult) -> RunMetrics:
+    return RunMetrics(
+        updates_sent=sum(len(v) for v in run.sent.values()),
+        updates_received_per_ce=tuple(len(t) for t in run.received),
+        alerts_generated_per_ce=tuple(len(a) for a in run.ce_alerts),
+        alerts_arrived=len(run.ad_arrivals),
+        alerts_displayed=len(run.displayed),
+        alerts_filtered=len(run.filtered),
+    )
+
+
+@dataclass(frozen=True)
+class DeliveryStats:
+    """Ground-truth alert delivery for the availability experiment.
+
+    ``expected`` is the number of alerts an ideal system — one CE, no
+    losses, no downtime — would have raised over the DM's full output;
+    ``delivered`` counts how many of those identities reached the user.
+    For multi-variable conditions the ground truth depends on the
+    interleaving of the DM streams; we use the interleaving by broadcast
+    time (which is what an ideal co-located CE would observe).
+    """
+
+    expected: int
+    delivered: int
+    extraneous: int
+
+    @property
+    def missed(self) -> int:
+        return self.expected - self.delivered
+
+    @property
+    def miss_fraction(self) -> float:
+        if self.expected == 0:
+            return 0.0
+        return self.missed / self.expected
+
+
+def _ground_truth_updates(run: RunResult) -> list:
+    """The DM output merged in broadcast order — what an ideal co-located
+    CE (one per all variables, zero-latency, lossless) would observe."""
+    return [update for _, update in run.sent_log]
+
+
+def delivery_stats(run: RunResult) -> DeliveryStats:
+    """Compare displayed alerts against the ideal system's alerts."""
+    ground_truth = apply_T(run.condition, _ground_truth_updates(run))
+    expected = alert_identity_set(ground_truth)
+    displayed = alert_identity_set(run.displayed)
+    return DeliveryStats(
+        expected=len(expected),
+        delivered=len(expected & displayed),
+        extraneous=len(displayed - expected),
+    )
+
+
+def back_link_bytes(run: RunResult, encoding=None) -> int:
+    """Total bytes the CEs sent to the AD under a given wire encoding.
+
+    ``encoding`` defaults to the *minimum* encoding the run's AD algorithm
+    needs (§2's observation, see :mod:`repro.core.wire`) — pass an
+    explicit :class:`~repro.core.wire.AlertEncoding` to compare choices.
+    """
+    from repro.core.wire import encode_alert, minimum_encoding
+
+    if encoding is None:
+        encoding = minimum_encoding(run.config.ad_algorithm)
+    return sum(
+        encode_alert(alert, encoding).size_bytes for alert in run.all_generated
+    )

@@ -1,0 +1,151 @@
+"""Parameter sweeps: violation rates as functions of system parameters.
+
+The paper's grids answer "can this property be violated?"; these sweeps
+answer "how often, as a function of loss rate / replication degree?" —
+the ablation data behind the design choices DESIGN.md calls out (loss
+0.3, 2 CEs) and the quantitative texture of the ✗ cells.
+
+Used by ``benchmarks/bench_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.props.report import PropertyTally
+from repro.workloads.scenarios import Scenario, run_scenario
+
+__all__ = ["SweepPoint", "loss_sweep", "replication_sweep", "render_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Violation rates at one parameter setting."""
+
+    parameter: str
+    value: float
+    algorithm: str
+    trials: int
+    unordered_rate: float
+    incomplete_rate: float | None
+    inconsistent_rate: float | None
+
+    @staticmethod
+    def from_tally(
+        parameter: str, value: float, algorithm: str, tally: PropertyTally
+    ) -> "SweepPoint":
+        def rate(violations: int, checked: int) -> float | None:
+            return violations / checked if checked else None
+
+        return SweepPoint(
+            parameter=parameter,
+            value=value,
+            algorithm=algorithm,
+            trials=tally.runs,
+            unordered_rate=tally.ordered_violations / max(tally.runs, 1),
+            incomplete_rate=rate(
+                tally.completeness_violations, tally.completeness_checked
+            ),
+            inconsistent_rate=rate(
+                tally.consistency_violations, tally.consistency_checked
+            ),
+        )
+
+
+def _sweep_tally(
+    scenario: Scenario,
+    algorithm: str,
+    trials: int,
+    n_updates: int,
+    base_seed: int,
+    replication: int = 2,
+) -> PropertyTally:
+    tally = PropertyTally()
+    for trial in range(trials):
+        run = run_scenario(
+            scenario,
+            algorithm,
+            base_seed + trial,
+            n_updates=n_updates,
+            replication=replication,
+        )
+        tally.add(run.evaluate_properties(), seed=base_seed + trial)
+    return tally
+
+
+def loss_sweep(
+    scenario: Scenario,
+    algorithm: str,
+    loss_probs: Sequence[float],
+    trials: int = 60,
+    n_updates: int = 30,
+    base_seed: int = 515000,
+) -> list[SweepPoint]:
+    """Violation rates vs front-link loss probability.
+
+    The scenario's own loss setting is overridden at each sweep point via
+    a shallow copy.
+    """
+    from dataclasses import replace
+
+    points = []
+    for loss in loss_probs:
+        varied = replace(scenario, front_loss=loss)
+        tally = _sweep_tally(
+            varied, algorithm, trials, n_updates, base_seed + int(loss * 10_000)
+        )
+        points.append(SweepPoint.from_tally("front_loss", loss, algorithm, tally))
+    return points
+
+
+def replication_sweep(
+    scenario: Scenario,
+    algorithm: str,
+    replications: Sequence[int],
+    trials: int = 60,
+    n_updates: int = 30,
+    base_seed: int = 525000,
+) -> list[SweepPoint]:
+    """Violation rates vs number of CEs.
+
+    The paper analyses two CEs and notes the analysis "can be easily
+    extended"; this sweep verifies the guarantees empirically at higher
+    replication (✓ cells must stay clean — more replicas mean more
+    interleavings, not new failure modes) and shows how much more often
+    the ✗ cells bite.
+    """
+    points = []
+    for replication in replications:
+        tally = _sweep_tally(
+            scenario,
+            algorithm,
+            trials,
+            n_updates,
+            base_seed + replication * 97,
+            replication=replication,
+        )
+        points.append(
+            SweepPoint.from_tally("replication", replication, algorithm, tally)
+        )
+    return points
+
+
+def render_sweep(title: str, points: Sequence[SweepPoint]) -> str:
+    """Fixed-width rendering of one sweep series."""
+
+    def fmt(rate: float | None) -> str:
+        return "   n/a" if rate is None else f"{rate:6.1%}"
+
+    lines = [title]
+    lines.append(
+        f"{'param':>12} {'value':>7} {'algo':>6} {'unordered':>9} "
+        f"{'incomplete':>10} {'inconsistent':>12}"
+    )
+    for p in points:
+        lines.append(
+            f"{p.parameter:>12} {p.value:>7g} {p.algorithm:>6} "
+            f"{fmt(p.unordered_rate):>9} {fmt(p.incomplete_rate):>10} "
+            f"{fmt(p.inconsistent_rate):>12}"
+        )
+    return "\n".join(lines)

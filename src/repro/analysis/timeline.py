@@ -1,0 +1,187 @@
+"""ASCII timeline rendering of a monitoring run.
+
+Turns a run into the kind of lane diagram the paper draws by hand — one
+lane per DM, CE and the AD — so a violating run can be *read*::
+
+    t=     0.00  DM-x     broadcast 1x(2900)
+    t=     0.83  CE1      receive   1x
+    t=     1.21  CE2      receive   1x
+    t=    10.00  DM-x     broadcast 2x(3100)
+    t=    10.94  CE1      receive   2x
+    t=    10.94  CE1      alert     a(2x)
+    t=    14.51  AD       display   a(2x) (from CE1)
+
+Two renderers:
+
+* :func:`render_logical_timeline` works on a finished
+  :class:`~repro.components.system.RunResult` (real timestamps for the
+  broadcast lane, logical order for the rest — reception times are not
+  retained in the result object);
+* :class:`TimelineRecorder` instruments a *live* system before ``run()``
+  and captures exact simulated times for every event by rewiring the link
+  receiver callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.components.system import MonitoringSystem, RunResult
+
+__all__ = ["render_logical_timeline", "TimelineRecorder", "TimelineEvent"]
+
+
+def render_logical_timeline(run: RunResult, max_rows: int | None = None) -> str:
+    """A lane-per-component rendering of a completed run (logical order)."""
+    lines: list[str] = []
+    lines.append("=== broadcast lane (real times) ===")
+    for time, update in run.sent_log:
+        lines.append(
+            f"t={time:>8.1f}  DM-{update.varname:<6} broadcast {update.shorthand()}"
+        )
+
+    for index, trace in enumerate(run.received):
+        alerts = run.ce_alerts[index]
+        lines.append(
+            f"=== CE{index + 1} lane ({len(trace)} received, "
+            f"{len(alerts)} alerts) ==="
+        )
+        # An alert was emitted at the arrival of its newest history entry;
+        # map trigger position -> alert for annotation.
+        remaining = list(alerts)
+        for update in trace:
+            suffix = ""
+            if remaining:
+                head = remaining[0]
+                if (
+                    update.varname in head.variables
+                    and head.histories.seqno(update.varname) == update.seqno
+                ):
+                    suffix = f"  -> {head.shorthand()}"
+                    remaining.pop(0)
+            lines.append(
+                f"          CE{index + 1}      receive   "
+                f"{update.shorthand(False)}{suffix}"
+            )
+
+    lines.append(
+        f"=== AD lane ({len(run.ad_arrivals)} arrivals, "
+        f"{len(run.displayed)} displayed) ==="
+    )
+    display_ids = {id(a) for a in run.displayed}
+    for alert in run.ad_arrivals:
+        verdict = "display" if id(alert) in display_ids else "filter "
+        lines.append(
+            f"          AD       {verdict}   {alert.shorthand()} "
+            f"(from {alert.source})"
+        )
+    if max_rows is not None and len(lines) > max_rows:
+        lines = lines[:max_rows] + [f"... ({len(lines) - max_rows} more rows)"]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One timestamped event captured by :class:`TimelineRecorder`."""
+
+    time: float
+    lane: str
+    kind: str  # "broadcast" | "receive" | "alert" | "display" | "filter"
+    detail: str
+
+
+@dataclass
+class TimelineRecorder:
+    """Captures exact event times from a live MonitoringSystem.
+
+    Must be attached *before* ``system.run()``.  Usage::
+
+        system = MonitoringSystem(condition, workload, config, seed=7)
+        recorder = TimelineRecorder.attach(system)
+        result = system.run()
+        print(recorder.render())
+    """
+
+    events: list[TimelineEvent] = field(default_factory=list)
+
+    def record(self, time: float, lane: str, kind: str, detail: str) -> None:
+        self.events.append(TimelineEvent(time, lane, kind, detail))
+
+    @classmethod
+    def attach(cls, system: MonitoringSystem) -> "TimelineRecorder":
+        recorder = cls()
+        kernel = system.kernel
+
+        # DM broadcasts: start() schedules `self._broadcast` lookups at
+        # fire time, so wrapping the instance attribute works as long as
+        # attach() runs before run().
+        for dm in system.dms:
+            def make_broadcast(dm, original):
+                def wrapped(value):
+                    original(value)
+                    recorder.record(
+                        kernel.now, dm.name, "broadcast", dm.sent[-1].shorthand()
+                    )
+                return wrapped
+
+            dm._broadcast = make_broadcast(dm, dm._broadcast)
+
+        # CE receptions: front links captured the CE's bound `receive` at
+        # construction, so rewire each link's receiver to the wrapper.
+        ce_wrappers = {}
+        for ce in system.ces:
+            def make_receive(ce, original):
+                def wrapped(message):
+                    received_before = len(ce.received)
+                    alerts_before = len(ce.alerts)
+                    original(message)
+                    if len(ce.received) > received_before:
+                        recorder.record(
+                            kernel.now, ce.name, "receive",
+                            message.shorthand(False),
+                        )
+                    if len(ce.alerts) > alerts_before:
+                        recorder.record(
+                            kernel.now, ce.name, "alert",
+                            ce.alerts[-1].shorthand(),
+                        )
+                return wrapped
+
+            wrapper = make_receive(ce, ce.receive)
+            ce_wrappers[id(ce)] = wrapper
+            ce.receive = wrapper
+
+        for dm in system.dms:
+            for link in dm._links:
+                bound_self = getattr(link.receiver, "__self__", None)
+                if bound_self is not None and id(bound_self) in ce_wrappers:
+                    link.receiver = ce_wrappers[id(bound_self)]
+
+        # AD arrivals: rewire each back link.
+        ad = system.ad
+
+        def make_ad_receive(original):
+            def wrapped(message):
+                displayed_before = len(ad.displayed)
+                original(message)
+                kind = "display" if len(ad.displayed) > displayed_before else "filter"
+                recorder.record(
+                    kernel.now, ad.name, kind,
+                    f"{message.shorthand()} (from {message.source})",
+                )
+            return wrapped
+
+        ad_wrapper = make_ad_receive(ad.receive)
+        ad.receive = ad_wrapper
+        for ce in system.ces:
+            if ce.back_link is not None:
+                ce.back_link.receiver = ad_wrapper
+
+        return recorder
+
+    def render(self) -> str:
+        lines = [
+            f"t={event.time:>9.2f}  {event.lane:<8} {event.kind:<9} {event.detail}"
+            for event in sorted(self.events, key=lambda e: e.time)
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Everything the benchmarks do, driveable from a shell::
+
+    python -m repro tables table1 table2        # regenerate paper tables
+    python -m repro scenario aggressive --algorithm AD-1 --seed 7 --timeline
+    python -m repro shrink aggressive --property consistent
+    python -m repro domination
+    python -m repro maximality
+    python -m repro availability --trials 30
+    python -m repro list
+
+Exit status is 0 when the measured results agree with the paper's claims,
+1 otherwise — so the CLI doubles as a reproduction check in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.experiments import (
+    availability_experiment,
+    domination_experiment,
+    maximality_experiment,
+)
+from repro.analysis.tables import EXPECTED_GRIDS, build_table, render_table
+from repro.analysis.witness import counterexample_from_run, shrink_counterexample
+from repro.displayers.registry import algorithm_info, algorithm_names, make_ad
+from repro.workloads.scenarios import (
+    MULTI_VARIABLE_SCENARIOS,
+    ROW_ORDER,
+    SINGLE_VARIABLE_SCENARIOS,
+    run_scenario,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    table_ids = args.tables or list(EXPECTED_GRIDS)
+    all_ok = True
+    for table_id in table_ids:
+        if table_id not in EXPECTED_GRIDS:
+            print(f"unknown table {table_id!r}; known: {list(EXPECTED_GRIDS)}")
+            return 2
+        kwargs = {}
+        if args.trials:
+            kwargs["trials"] = args.trials
+        if args.updates:
+            kwargs["n_updates"] = args.updates
+        if args.processes > 1:
+            from repro.analysis.parallel import build_table_parallel
+
+            result = build_table_parallel(
+                table_id, processes=args.processes, **kwargs
+            )
+        else:
+            result = build_table(table_id, **kwargs)
+        print(render_table(result))
+        print()
+        all_ok = all_ok and result.matches_paper()
+    print(f"overall paper agreement: {'YES' if all_ok else 'NO'}")
+    return 0 if all_ok else 1
+
+
+def _scenario_for(row: str, multi: bool):
+    scenarios = MULTI_VARIABLE_SCENARIOS if multi else SINGLE_VARIABLE_SCENARIOS
+    if row not in scenarios:
+        raise SystemExit(f"unknown scenario {row!r}; rows: {list(ROW_ORDER)}")
+    return scenarios[row]
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = _scenario_for(args.row, args.multi)
+    run = run_scenario(
+        scenario, args.algorithm, args.seed, n_updates=args.updates
+    )
+    print(f"scenario: {scenario.label}")
+    print(f"algorithm: {args.algorithm}, seed: {args.seed}")
+    for var, sent in run.sent.items():
+        print(f"  DM-{var} sent {len(sent)} updates")
+    for index, trace in enumerate(run.received):
+        print(f"  CE{index + 1} received {len(trace)}, generated "
+              f"{len(run.ce_alerts[index])} alerts")
+    print(f"  AD displayed {len(run.displayed)} of {len(run.ad_arrivals)} arrivals")
+    report = run.evaluate_properties()
+    print(f"  properties: {report.summary}")
+    if args.timeline:
+        from repro.analysis.timeline import render_logical_timeline
+
+        print()
+        print(render_logical_timeline(run))
+    return 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    scenario = _scenario_for(args.row, args.multi)
+    condition = scenario.make_condition()
+    for seed in range(args.seed, args.seed + args.max_seeds):
+        run = run_scenario(scenario, args.algorithm, seed, n_updates=args.updates)
+        counterexample = counterexample_from_run(run)
+        if counterexample is None:
+            continue
+        if args.property and counterexample.violation != args.property:
+            continue
+        print(f"violation found at seed {seed}; shrinking "
+              f"({counterexample.total_updates} updates) ...")
+        shrunk = shrink_counterexample(
+            counterexample, lambda: make_ad(args.algorithm, condition)
+        )
+        print(shrunk.describe())
+        print(f"(shrunk from {counterexample.total_updates} to "
+              f"{shrunk.total_updates} updates)")
+        return 0
+    print(f"no {'violation' if not args.property else args.property + ' violation'} "
+          f"found in seeds [{args.seed}, {args.seed + args.max_seeds})")
+    return 1
+
+
+def _cmd_domination(args: argparse.Namespace) -> int:
+    results = domination_experiment(trials=args.trials)
+    ok = True
+    for name, result in results.items():
+        verdict = "holds" if result.dominates else "VIOLATED"
+        print(f"{name}: {verdict} over {result.streams} streams "
+              f"({result.strict_witnesses} strict witnesses)")
+        ok = ok and result.dominates and result.strictly_dominates
+    return 0 if ok else 1
+
+
+def _cmd_maximality(args: argparse.Namespace) -> int:
+    results = maximality_experiment(trials=args.trials)
+    ok = True
+    for name, result in results.items():
+        verdict = "maximal" if result.maximal else "NOT MAXIMAL"
+        print(f"{name}: {verdict} ({result.discards} discards, "
+              f"{result.unjustified} unjustified)")
+        ok = ok and result.maximal
+    return 0 if ok else 1
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    points = availability_experiment(trials=args.trials)
+    print(f"{'loss':>6} {'CEs':>4} {'mean miss':>10} {'any-miss':>9}")
+    for p in points:
+        print(f"{p.front_loss:>6} {p.replication:>4} "
+              f"{p.mean_miss_fraction:>10.3f} {p.any_alert_missed_fraction:>9.2f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_run
+
+    scenario = _scenario_for(args.row, args.multi)
+    run = run_scenario(scenario, "pass", args.seed, n_updates=args.updates)
+    comparison = compare_run(run)
+    print(f"scenario: {scenario.label}, seed {args.seed}")
+    print(comparison.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.repro_report import generate_report
+
+    report = generate_report(budget=args.budget, processes=args.processes)
+    text = report.to_markdown()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    print(f"overall: {'PASS' if report.passed else 'FAIL'}")
+    return 0 if report.passed else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("AD algorithms:")
+    for name in algorithm_names():
+        info = algorithm_info(name)
+        guarantees = []
+        if info.guarantees_ordered:
+            guarantees.append("ordered")
+        if info.guarantees_consistent:
+            guarantees.append("consistent")
+        scope = "multi" if info.multi_variable else "single"
+        print(f"  {name:<6} [{scope:<6}] guarantees: "
+              f"{', '.join(guarantees) or '(none)'}  ({info.paper_figure})")
+    print("\nscenario rows (Tables 1-3):")
+    for row in ROW_ORDER:
+        print(f"  {row:<16} {SINGLE_VARIABLE_SCENARIOS[row].label}")
+    print("\ntable experiments:")
+    for table_id in EXPECTED_GRIDS:
+        print(f"  {table_id}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Replicated condition monitoring (PODC 2001) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="regenerate paper property tables")
+    p_tables.add_argument("tables", nargs="*", help="table ids (default: all)")
+    p_tables.add_argument("--trials", type=int, default=None)
+    p_tables.add_argument("--updates", type=int, default=None)
+    p_tables.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="fan trials out over N worker processes",
+    )
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_scenario = sub.add_parser("scenario", help="run one randomized trial")
+    p_scenario.add_argument("row", choices=list(ROW_ORDER))
+    p_scenario.add_argument("--algorithm", default="AD-1")
+    p_scenario.add_argument("--seed", type=int, default=0)
+    p_scenario.add_argument("--updates", type=int, default=30)
+    p_scenario.add_argument("--multi", action="store_true")
+    p_scenario.add_argument("--timeline", action="store_true")
+    p_scenario.set_defaults(func=_cmd_scenario)
+
+    p_shrink = sub.add_parser(
+        "shrink", help="find a property violation and minimize it"
+    )
+    p_shrink.add_argument("row", choices=list(ROW_ORDER))
+    p_shrink.add_argument("--algorithm", default="AD-1")
+    p_shrink.add_argument(
+        "--property", choices=["ordered", "complete", "consistent"], default=None
+    )
+    p_shrink.add_argument("--seed", type=int, default=0)
+    p_shrink.add_argument("--max-seeds", type=int, default=200)
+    p_shrink.add_argument("--updates", type=int, default=25)
+    p_shrink.add_argument("--multi", action="store_true")
+    p_shrink.set_defaults(func=_cmd_shrink)
+
+    p_dom = sub.add_parser("domination", help="Theorems 6/8 replay")
+    p_dom.add_argument("--trials", type=int, default=200)
+    p_dom.set_defaults(func=_cmd_domination)
+
+    p_max = sub.add_parser("maximality", help="Theorems 5/7/9 probes")
+    p_max.add_argument("--trials", type=int, default=200)
+    p_max.set_defaults(func=_cmd_maximality)
+
+    p_avail = sub.add_parser("availability", help="Figure-1 motivation sweep")
+    p_avail.add_argument("--trials", type=int, default=40)
+    p_avail.set_defaults(func=_cmd_availability)
+
+    p_list = sub.add_parser("list", help="algorithms, scenarios, tables")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_compare = sub.add_parser(
+        "compare", help="replay one run's arrivals through several algorithms"
+    )
+    p_compare.add_argument("row", choices=list(ROW_ORDER))
+    p_compare.add_argument("--seed", type=int, default=0)
+    p_compare.add_argument("--updates", type=int, default=20)
+    p_compare.add_argument("--multi", action="store_true")
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_report = sub.add_parser(
+        "report", help="run the full experiment suite, emit a Markdown report"
+    )
+    p_report.add_argument(
+        "--budget",
+        type=float,
+        default=1.0,
+        help="trial-count multiplier (0.1 = quick smoke run)",
+    )
+    p_report.add_argument(
+        "--output", default=None, help="write the report to this file"
+    )
+    p_report.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="fan table trials out over N worker processes",
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

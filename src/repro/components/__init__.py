@@ -1,0 +1,17 @@
+"""System components: Data Monitors, CE nodes, AD nodes, and the system
+builder (Figures 1-3)."""
+
+from repro.components.ad_node import ADNode
+from repro.components.ce_node import CENode
+from repro.components.data_monitor import DataMonitor
+from repro.components.system import MonitoringSystem, RunResult, SystemConfig, run_system
+
+__all__ = [
+    "ADNode",
+    "CENode",
+    "DataMonitor",
+    "MonitoringSystem",
+    "RunResult",
+    "SystemConfig",
+    "run_system",
+]

@@ -1,0 +1,53 @@
+"""Alert Displayer node (Section 2).
+
+Collects the interleaved alert arrival stream from all CEs — the input to
+the merge/filter function M of Appendix B — and runs one of the AD
+filtering algorithms over it.  The node records both the raw arrival
+order (for domination replays and debugging) and the displayed output A.
+"""
+
+from __future__ import annotations
+
+from repro.core.alert import Alert
+from repro.displayers.base import ADAlgorithm
+from repro.simulation.kernel import Kernel
+from repro.simulation.node import Node
+
+__all__ = ["ADNode"]
+
+
+class ADNode(Node):
+    """The user's alert display, with a pluggable filtering algorithm."""
+
+    def __init__(self, kernel: Kernel, name: str, algorithm: ADAlgorithm) -> None:
+        super().__init__(kernel, name)
+        self.algorithm = algorithm
+        self._arrivals: list[Alert] = []
+        self._arrival_times: list[float] = []
+
+    @property
+    def arrivals(self) -> tuple[Alert, ...]:
+        """Every alert that reached the AD, in arrival (interleaved) order."""
+        return tuple(self._arrivals)
+
+    @property
+    def arrival_times(self) -> tuple[float, ...]:
+        """Simulated arrival time of each alert, aligned with ``arrivals``."""
+        return tuple(self._arrival_times)
+
+    @property
+    def displayed(self) -> tuple[Alert, ...]:
+        """The final alert sequence A shown to the user."""
+        return self.algorithm.output
+
+    @property
+    def filtered(self) -> tuple[Alert, ...]:
+        """Alerts the algorithm discarded."""
+        return self.algorithm.discarded
+
+    def receive(self, message) -> None:
+        if not isinstance(message, Alert):
+            raise TypeError(f"{self.name} expected an Alert, got {type(message)!r}")
+        self._arrivals.append(message)
+        self._arrival_times.append(self.kernel.now)
+        self.algorithm.offer(message)

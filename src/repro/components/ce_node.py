@@ -1,0 +1,70 @@
+"""Condition Evaluator node — the replicated server (Sections 1–3).
+
+Wraps the pure :class:`~repro.core.evaluator.ConditionEvaluator` in a
+simulation node: updates arrive over front links, alerts leave over the
+back link to the AD.  A crash schedule can take the node down for
+intervals of simulated time; updates delivered while down are *missed
+permanently* (front links are datagrams — no retransmission), which is
+precisely the failure replication is meant to mask.
+"""
+
+from __future__ import annotations
+
+from repro.core.alert import Alert
+from repro.core.condition import Condition
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.update import Update
+from repro.simulation.failures import CrashSchedule
+from repro.simulation.kernel import Kernel
+from repro.simulation.network import Link
+from repro.simulation.node import Node
+
+__all__ = ["CENode"]
+
+
+class CENode(Node):
+    """A Condition Evaluator bound to the simulation."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str,
+        condition: Condition,
+        crash_schedule: CrashSchedule | None = None,
+    ) -> None:
+        super().__init__(kernel, name)
+        self.evaluator = ConditionEvaluator(condition, source=name)
+        self.crash_schedule = crash_schedule or CrashSchedule.never()
+        self.back_link: Link | None = None
+        self.missed_while_down = 0
+
+    # -- wiring --------------------------------------------------------------
+    def connect_ad(self, link: Link) -> None:
+        """Attach the back link carrying alerts to the AD."""
+        self.back_link = link
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def received(self) -> tuple[Update, ...]:
+        """``U_i``: the updates this CE incorporated, in arrival order."""
+        return self.evaluator.received
+
+    @property
+    def alerts(self) -> tuple[Alert, ...]:
+        """``A_i = T(U_i)``: alerts this CE generated, in order."""
+        return self.evaluator.alerts
+
+    @property
+    def is_up(self) -> bool:
+        return self.crash_schedule.is_up(self.kernel.now)
+
+    # -- message handling --------------------------------------------------------
+    def receive(self, message) -> None:
+        if not isinstance(message, Update):
+            raise TypeError(f"{self.name} expected an Update, got {type(message)!r}")
+        if not self.is_up:
+            self.missed_while_down += 1
+            return
+        alert = self.evaluator.ingest(message)
+        if alert is not None and self.back_link is not None:
+            self.back_link.send(alert)

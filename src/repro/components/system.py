@@ -1,0 +1,234 @@
+"""Monitoring system builder and runner (Figures 1–3).
+
+:class:`MonitoringSystem` wires DMs, CEs and an AD together on a fresh
+kernel according to a :class:`SystemConfig`, runs the workload to
+completion, and returns a :class:`RunResult` carrying everything the
+analysis needs: U (sent), U_i (received per CE), A_i (generated per CE),
+the interleaved arrival stream at the AD, and the displayed A.
+
+``replication = 1`` with the ``"pass"`` algorithm is the corresponding
+non-replicated system N; ``replication >= 2`` with any AD algorithm is a
+replicated system R.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.components.ad_node import ADNode
+from repro.components.ce_node import CENode
+from repro.components.data_monitor import DataMonitor
+from repro.core.alert import Alert
+from repro.core.condition import Condition
+from repro.core.update import Update
+from repro.displayers.base import ADAlgorithm
+from repro.displayers.registry import make_ad
+from repro.props.report import PropertyReport, evaluate_run
+from repro.simulation.failures import CrashSchedule
+from repro.simulation.kernel import Kernel
+from repro.simulation.network import (
+    DelayModel,
+    LossyFifoLink,
+    ReliableLink,
+    StoreAndForwardLink,
+    UniformDelay,
+)
+from repro.simulation.rng import RandomStreams
+
+__all__ = ["SystemConfig", "RunResult", "MonitoringSystem", "run_system"]
+
+#: A workload: per-variable (time, value) reading schedules.
+Workload = Mapping[str, Sequence[tuple[float, float]]]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Topology and link parameters of one monitoring system."""
+
+    #: Number of Condition Evaluators (1 = non-replicated).
+    replication: int = 2
+    #: AD algorithm name from the registry ("pass", "AD-1", ... "AD-6").
+    ad_algorithm: str = "AD-1"
+    #: Per-message loss probability on every front link.
+    front_loss: float = 0.0
+    #: Front-link propagation delay model.
+    front_delay: DelayModel = field(default_factory=lambda: UniformDelay(0.05, 1.5))
+    #: Back-link propagation delay model (randomises A1/A2 interleaving).
+    #: The spread intentionally exceeds the default 10-unit reading interval
+    #: so alerts from different CEs can overtake each other at the AD.
+    back_delay: DelayModel = field(default_factory=lambda: UniformDelay(0.05, 30.0))
+    #: Optional per-CE crash schedules, keyed by CE index (0-based).
+    crash_schedules: Mapping[int, CrashSchedule] = field(default_factory=dict)
+    #: Optional AD (PDA) downtime.  When set, back links store and forward:
+    #: alerts arriving while the display device is off are held and
+    #: delivered, still in order, at its next up-time — the paper's "the
+    #: CE logs the alert, and sends it later" (§1).
+    ad_crash_schedule: CrashSchedule | None = None
+    #: Optional per-CE front-link loss override (CE index → probability),
+    #: for heterogeneous networks; CEs absent from the map use front_loss.
+    front_loss_per_ce: Mapping[int, float] = field(default_factory=dict)
+    #: Optional per-CE front-link outage windows (§1: front links "can
+    #: also be out of service") — datagrams sent while a CE's front links
+    #: are down are lost.
+    front_outages: Mapping[int, CrashSchedule] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if not 0.0 <= self.front_loss <= 1.0:
+            raise ValueError(f"front_loss must be in [0,1], got {self.front_loss}")
+        for index, loss in self.front_loss_per_ce.items():
+            if not 0.0 <= loss <= 1.0:
+                raise ValueError(
+                    f"front_loss_per_ce[{index}] must be in [0,1], got {loss}"
+                )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything observable about one completed run."""
+
+    condition: Condition
+    config: SystemConfig
+    seed: int
+    #: U per variable: the updates each DM broadcast.
+    sent: dict[str, tuple[Update, ...]]
+    #: All broadcasts merged in kernel order: (time, update) pairs.
+    sent_log: tuple[tuple[float, Update], ...]
+    #: U_i per CE: updates actually incorporated, in arrival order.
+    received: tuple[tuple[Update, ...], ...]
+    #: A_i per CE: alerts generated.
+    ce_alerts: tuple[tuple[Alert, ...], ...]
+    #: The interleaved arrival stream at the AD (input to M).
+    ad_arrivals: tuple[Alert, ...]
+    #: Simulated arrival time of each alert, aligned with ``ad_arrivals``.
+    ad_arrival_times: tuple[float, ...]
+    #: The displayed sequence A.
+    displayed: tuple[Alert, ...]
+    #: Alerts the AD filtered out.
+    filtered: tuple[Alert, ...]
+    #: Updates missed because a CE was crashed at delivery time.
+    missed_while_down: tuple[int, ...]
+
+    def evaluate_properties(self, interleaving_limit: int | None = None) -> PropertyReport:
+        """Decide orderedness/completeness/consistency for this run."""
+        kwargs = {}
+        if interleaving_limit is not None:
+            kwargs["interleaving_limit"] = interleaving_limit
+        return evaluate_run(self.condition, self.received, self.displayed, **kwargs)
+
+    @property
+    def all_generated(self) -> tuple[Alert, ...]:
+        """Union of the CEs' alert streams (unordered concatenation)."""
+        return tuple(a for stream in self.ce_alerts for a in stream)
+
+
+class MonitoringSystem:
+    """Builds and runs one monitoring system instance."""
+
+    def __init__(
+        self,
+        condition: Condition,
+        workload: Workload,
+        config: SystemConfig,
+        seed: int = 0,
+        algorithm: ADAlgorithm | None = None,
+    ) -> None:
+        missing = set(condition.variables) - set(workload)
+        if missing:
+            raise ValueError(
+                f"workload lacks readings for condition variables: {sorted(missing)}"
+            )
+        self.condition = condition
+        self.config = config
+        self.seed = seed
+        self.kernel = Kernel()
+        streams = RandomStreams(seed)
+
+        ad_algorithm = algorithm if algorithm is not None else make_ad(
+            config.ad_algorithm, condition
+        )
+        self.ad = ADNode(self.kernel, "AD", ad_algorithm)
+
+        self.ces: list[CENode] = []
+        for index in range(config.replication):
+            ce = CENode(
+                self.kernel,
+                f"CE{index + 1}",
+                condition,
+                config.crash_schedules.get(index),
+            )
+            if config.ad_crash_schedule is not None:
+                back: ReliableLink | StoreAndForwardLink = StoreAndForwardLink(
+                    self.kernel,
+                    self.ad.receive,
+                    config.back_delay,
+                    streams.stream(f"back/{ce.name}"),
+                    availability=config.ad_crash_schedule,
+                    name=f"{ce.name}->AD",
+                )
+            else:
+                back = ReliableLink(
+                    self.kernel,
+                    self.ad.receive,
+                    config.back_delay,
+                    streams.stream(f"back/{ce.name}"),
+                    name=f"{ce.name}->AD",
+                )
+            ce.connect_ad(back)
+            self.ces.append(ce)
+
+        self.dms: list[DataMonitor] = []
+        for varname in sorted(workload):
+            dm = DataMonitor(self.kernel, varname, list(workload[varname]))
+            for index, ce in enumerate(self.ces):
+                front = LossyFifoLink(
+                    self.kernel,
+                    ce.receive,
+                    config.front_delay,
+                    streams.stream(f"front/{varname}/{ce.name}"),
+                    loss_prob=config.front_loss_per_ce.get(
+                        index, config.front_loss
+                    ),
+                    outage_schedule=config.front_outages.get(index),
+                    name=f"DM-{varname}->{ce.name}",
+                )
+                dm.attach(front)
+            self.dms.append(dm)
+
+    def run(self) -> RunResult:
+        """Execute the workload to quiescence and collect the results."""
+        for dm in self.dms:
+            dm.start()
+        self.kernel.run()
+        return RunResult(
+            condition=self.condition,
+            config=self.config,
+            seed=self.seed,
+            sent={dm.varname: dm.sent for dm in self.dms},
+            sent_log=tuple(
+                sorted(
+                    (entry for dm in self.dms for entry in dm.sent_log),
+                    key=lambda pair: (pair[0], pair[1].varname),
+                )
+            ),
+            received=tuple(ce.received for ce in self.ces),
+            ce_alerts=tuple(ce.alerts for ce in self.ces),
+            ad_arrivals=self.ad.arrivals,
+            ad_arrival_times=self.ad.arrival_times,
+            displayed=self.ad.displayed,
+            filtered=self.ad.filtered,
+            missed_while_down=tuple(ce.missed_while_down for ce in self.ces),
+        )
+
+
+def run_system(
+    condition: Condition,
+    workload: Workload,
+    config: SystemConfig,
+    seed: int = 0,
+    algorithm: ADAlgorithm | None = None,
+) -> RunResult:
+    """Build and run a system in one call."""
+    return MonitoringSystem(condition, workload, config, seed, algorithm).run()

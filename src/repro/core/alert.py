@@ -1,0 +1,90 @@
+"""Alerts — the messages CEs send to the AD (Section 2).
+
+An alert is ``a(condname, histories)``: ``condname`` identifies the
+condition, ``histories`` is the full H the CE used when the condition
+evaluated true.  The histories let the AD identify duplicates and
+conflicts.  ``a.seqno.x`` — the alert's sequence number with respect to
+variable x — is ``Hx[0].seqno``, the seqno of the last x-update received
+when the alert was triggered (§2.2); it is what the orderedness property
+and algorithms AD-2/AD-5 examine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.history import HistorySnapshot
+from repro.core.update import Update
+
+__all__ = ["Alert", "make_alert", "alert_identity_set", "project_alert_seqnos"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A single alert ``a(condname, histories)``.
+
+    ``source`` records which CE emitted the alert (for analysis and for
+    pretty-printing runs); it is *not* part of the alert's identity, since
+    "two alerts are considered identical if their history sets H are the
+    same" regardless of origin (Algorithm AD-1, §3).
+    """
+
+    condname: str
+    histories: HistorySnapshot
+    source: str = field(default="", compare=False)
+
+    def seqno(self, varname: str) -> int:
+        """``a.seqno.x`` = ``Hx[0].seqno`` (§2.2)."""
+        return self.histories.seqno(varname)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self.histories.variables
+
+    def identity(self) -> tuple:
+        """Hashable identity used for ΦA set comparisons and by AD-1."""
+        return (self.condname, self.histories.identity())
+
+    def with_source(self, source: str) -> "Alert":
+        return Alert(self.condname, self.histories, source)
+
+    def shorthand(self) -> str:
+        """Paper-style rendering, e.g. ``a(2x, 1y)`` for a two-var alert.
+
+        For degree > 1 histories all seqnos appear, most recent first:
+        ``a(3x,1x)`` is an alert that triggered on 3x with 1x as history.
+        """
+        parts = []
+        for var in self.histories.variables:
+            seqnos = self.histories.seqnos(var)
+            parts.append(",".join(f"{s}{var}" for s in seqnos))
+        return f"a({'; '.join(parts)})"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.shorthand()
+
+
+def make_alert(
+    condname: str,
+    histories: dict[str, tuple[Update, ...] | list[Update]],
+    source: str = "",
+) -> Alert:
+    """Convenience constructor used by tests and examples.
+
+    ``histories`` maps variable → updates most-recent-first, e.g.
+    ``make_alert("c2", {"x": [u3, u1]})`` for an alert that triggered on
+    update 3 with update 1 as the previous history entry.
+    """
+    snapshot = HistorySnapshot({var: tuple(ups) for var, ups in histories.items()})
+    return Alert(condname, snapshot, source)
+
+
+def alert_identity_set(alerts: Iterable[Alert]) -> frozenset[tuple]:
+    """``ΦA`` with alert identity = (condname, history seqnos)."""
+    return frozenset(a.identity() for a in alerts)
+
+
+def project_alert_seqnos(alerts: Iterable[Alert], varname: str) -> list[int]:
+    """``Πx A``: the sequence ⟨a.seqno.x | a ∈ A⟩ (§2.2)."""
+    return [a.seqno(varname) for a in alerts]

@@ -1,0 +1,110 @@
+"""The Condition Evaluator — the CE's evaluation core (Sections 2–3).
+
+:class:`ConditionEvaluator` is the stateful heart of a CE: it ingests data
+updates, maintains the history set H at the degrees the condition demands,
+re-evaluates the condition on every arrival, and emits an alert carrying a
+frozen snapshot of H whenever the condition is satisfied.
+
+This class is deliberately free of any networking or simulation concerns —
+it is the pure ``T`` mapping unrolled over time.  The simulated CE node
+(:mod:`repro.components.ce_node`) wraps it; the reference non-replicated
+system (:mod:`repro.core.reference`) replays traces through a fresh
+instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.alert import Alert
+from repro.core.condition import Condition
+from repro.core.history import HistorySet
+from repro.core.update import Update
+
+__all__ = ["ConditionEvaluator"]
+
+
+class ConditionEvaluator:
+    """Evaluates one condition over an incoming update stream.
+
+    Per the paper's assumptions (§2.1), one evaluator monitors a single
+    condition.  The evaluator enforces the front-link in-order guarantee:
+    feeding it a same-variable update with a non-increasing seqno raises,
+    because by assumption the link layer has already discarded such
+    messages before they reach the CE.
+
+    Parameters
+    ----------
+    condition:
+        The condition to monitor.
+    source:
+        Label stamped onto emitted alerts (e.g. ``"CE1"``), so analysis
+        code can attribute alerts to evaluators.
+    """
+
+    def __init__(self, condition: Condition, source: str = "") -> None:
+        self.condition = condition
+        self.source = source
+        self.histories = HistorySet(condition.degrees)
+        self._received: list[Update] = []
+        self._alerts: list[Alert] = []
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def received(self) -> tuple[Update, ...]:
+        """Every update this evaluator has incorporated (its ``U_i``)."""
+        return tuple(self._received)
+
+    @property
+    def alerts(self) -> tuple[Alert, ...]:
+        """Every alert emitted so far (its ``A_i = T(U_i)``)."""
+        return tuple(self._alerts)
+
+    @property
+    def is_warmed_up(self) -> bool:
+        """True once H is defined and the condition can be evaluated."""
+        return self.histories.is_defined
+
+    # -- operation -----------------------------------------------------------
+    def ingest(self, update: Update) -> Alert | None:
+        """Incorporate one update; return the alert it triggered, if any.
+
+        Updates for variables outside the condition's variable set are
+        ignored entirely (not recorded in ``received``): the CE would not
+        have subscribed to those DMs.
+        """
+        if update.varname not in self.histories:
+            return None
+        self.histories.push(update)
+        self._received.append(update)
+        if not self.histories.is_defined:
+            # H is undefined while fewer than `degree` updates have arrived
+            # (§2): the condition cannot be evaluated yet.
+            return None
+        if not self.condition.evaluate(self.histories):
+            return None
+        alert = Alert(self.condition.name, self.histories.snapshot(), self.source)
+        self._alerts.append(alert)
+        return alert
+
+    def ingest_all(self, updates: Iterable[Update]) -> list[Alert]:
+        """Feed a whole trace; return the alerts it produced, in order."""
+        produced = []
+        for update in updates:
+            alert = self.ingest(update)
+            if alert is not None:
+                produced.append(alert)
+        return produced
+
+    def reset(self) -> None:
+        """Clear all state, as if the evaluator had just started."""
+        self.histories = HistorySet(self.condition.degrees)
+        self._received.clear()
+        self._alerts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.source or "CE"
+        return (
+            f"<ConditionEvaluator {label} cond={self.condition.name} "
+            f"received={len(self._received)} alerts={len(self._alerts)}>"
+        )

@@ -1,0 +1,220 @@
+"""Update histories — the ``H`` structure conditions are evaluated on (§2).
+
+An *update history* for variable x, written ``Hx``, is the sequence of the
+N most recently received x-updates at a CE:
+
+    Hx = ⟨Hx[0], Hx[-1], ..., Hx[-(N-1)]⟩
+
+where ``Hx[0]`` is the most recent update and ``Hx[-i]`` the i-th most
+recent.  N is the history's *degree*, dictated by the condition being
+monitored.  Until N updates have been received the history is *undefined*
+and the condition cannot be evaluated.
+
+:class:`HistorySet` is the full ``H``: one history per variable in the
+condition's variable set V.  Alerts carry a frozen snapshot of H
+(:class:`HistorySnapshot`), which AD algorithms compare for duplicate and
+conflict detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.core.update import Update
+
+__all__ = ["UpdateHistory", "HistorySet", "HistorySnapshot", "history_is_consecutive"]
+
+
+class UpdateHistory:
+    """``Hx``: ring buffer of the N most recent updates of one variable.
+
+    Indexing follows the paper: ``h[0]`` is the most recent update,
+    ``h[-1]`` the one before it, down to ``h[-(degree-1)]``.  Positive
+    indices are invalid.  Accessing any slot before the history is defined
+    (fewer than ``degree`` updates received) raises LookupError.
+    """
+
+    def __init__(self, varname: str, degree: int) -> None:
+        if degree < 1:
+            raise ValueError(f"history degree must be >= 1, got {degree}")
+        self.varname = varname
+        self.degree = degree
+        # Leftmost element is the most recent update.
+        self._buffer: deque[Update] = deque(maxlen=degree)
+
+    @property
+    def is_defined(self) -> bool:
+        """True once at least ``degree`` updates have been incorporated."""
+        return len(self._buffer) == self.degree
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def push(self, update: Update) -> None:
+        """Incorporate a newly received update as ``Hx[0]``.
+
+        Enforces the front-link ordering assumption: a CE never sees
+        x-updates out of order, so pushes must carry increasing seqnos.
+        """
+        if update.varname != self.varname:
+            raise ValueError(
+                f"history for {self.varname!r} got update for {update.varname!r}"
+            )
+        if self._buffer and update.seqno <= self._buffer[0].seqno:
+            raise ValueError(
+                f"non-increasing seqno pushed into H{self.varname}: "
+                f"{update.seqno} after {self._buffer[0].seqno}"
+            )
+        self._buffer.appendleft(update)
+
+    def __getitem__(self, index: int) -> Update:
+        if index > 0:
+            raise IndexError("history indices are 0 or negative (Hx[0], Hx[-1], ...)")
+        if not self.is_defined:
+            raise LookupError(
+                f"H{self.varname} is undefined: {len(self._buffer)} of "
+                f"{self.degree} updates received"
+            )
+        offset = -index
+        return self._buffer[offset]
+
+    def snapshot(self) -> tuple[Update, ...]:
+        """The current contents, most recent first (undefined → LookupError)."""
+        if not self.is_defined:
+            raise LookupError(f"H{self.varname} is undefined")
+        return tuple(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(u.shorthand(False) for u in self._buffer)
+        return f"H{self.varname}<{inner}>"
+
+
+class HistorySet:
+    """``H``: the set of update histories, one per variable in V."""
+
+    def __init__(self, degrees: Mapping[str, int]) -> None:
+        if not degrees:
+            raise ValueError("a condition must involve at least one variable")
+        self._histories = {
+            var: UpdateHistory(var, degree) for var, degree in degrees.items()
+        }
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self._histories)
+
+    @property
+    def is_defined(self) -> bool:
+        """True once every per-variable history is defined."""
+        return all(h.is_defined for h in self._histories.values())
+
+    def __getitem__(self, varname: str) -> UpdateHistory:
+        return self._histories[varname]
+
+    def __contains__(self, varname: str) -> bool:
+        return varname in self._histories
+
+    def push(self, update: Update) -> None:
+        """Route an update into the history of its variable.
+
+        Updates for variables outside V are ignored (a CE only subscribes
+        to the DMs of its condition's variables, but a shared broadcast
+        medium may still deliver others).
+        """
+        history = self._histories.get(update.varname)
+        if history is not None:
+            history.push(update)
+
+    def snapshot(self) -> "HistorySnapshot":
+        return HistorySnapshot(
+            {var: h.snapshot() for var, h in self._histories.items()}
+        )
+
+
+@dataclass(frozen=True)
+class HistorySnapshot:
+    """Immutable copy of H at alert time; the ``histories`` field of alerts.
+
+    Hashable so AD-1 can use alert identity ("two alerts are identical if
+    their history sets H are the same") directly as a set member.
+    """
+
+    _entries: Mapping[str, tuple[Update, ...]]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_entries", dict(sorted(self._entries.items()))
+        )
+        for var, updates in self._entries.items():
+            if not updates:
+                raise ValueError(f"empty history snapshot for {var!r}")
+            seqnos = [u.seqno for u in updates]
+            if any(b <= a for a, b in zip(seqnos[1:], seqnos)):
+                # Entries are most-recent-first, so seqnos must strictly
+                # decrease along the tuple.
+                if any(b >= a for a, b in zip(seqnos, seqnos[1:])):
+                    raise ValueError(
+                        f"history snapshot for {var!r} not in most-recent-first "
+                        f"order: {seqnos}"
+                    )
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def __getitem__(self, varname: str) -> tuple[Update, ...]:
+        return self._entries[varname]
+
+    def __contains__(self, varname: str) -> bool:
+        return varname in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def seqno(self, varname: str) -> int:
+        """``a.seqno.x``: seqno of the most recent x-update at trigger time."""
+        return self._entries[varname][0].seqno
+
+    def seqnos(self, varname: str) -> tuple[int, ...]:
+        """All seqnos in Hx, most recent first."""
+        return tuple(u.seqno for u in self._entries[varname])
+
+    def identity(self) -> tuple:
+        """Hashable identity: variable → (seqno, ...) pairs.
+
+        Identity deliberately ignores values: an update's seqno determines
+        its snapshot value in a correct system, and AD algorithms in the
+        paper compare histories by their sequence numbers.
+        """
+        return tuple(
+            (var, tuple(u.seqno for u in updates))
+            for var, updates in self._entries.items()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.identity())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HistorySnapshot):
+            return NotImplemented
+        return self.identity() == other.identity()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        for var, updates in self._entries.items():
+            inner = ", ".join(u.shorthand(False) for u in updates)
+            parts.append(f"H{var}<{inner}>")
+        return "{" + "; ".join(parts) + "}"
+
+
+def history_is_consecutive(updates: Iterable[Update]) -> bool:
+    """True iff a most-recent-first run of updates has consecutive seqnos.
+
+    This is the check a *conservative* condition performs: it must evaluate
+    to false whenever the sequence numbers in any Hx are not consecutive
+    (i.e. an update was lost between two retained ones).
+    """
+    seqnos = [u.seqno for u in updates]
+    return all(a == b + 1 for a, b in zip(seqnos, seqnos[1:]))

@@ -1,0 +1,174 @@
+"""Textual condition expressions.
+
+Conditions can be written as plain text — handy for config files, CLIs
+and tests — and parsed into the same AST the ``H`` DSL builds::
+
+    parse_condition("c1", "H.x[0].value > 3000")
+    parse_condition("c3", "H.x[0].value - H.x[-1].value > 200 "
+                          "and H.x[0].seqno == H.x[-1].seqno + 1")
+    parse_condition("cm", "abs(H.x[0].value - H.y[0].value) > 100")
+
+The text is parsed with Python's ``ast`` module and *translated*, never
+executed: only a whitelisted grammar is accepted — history references
+``H.<var>[<int>]`` / ``H['<var>'][<int>]`` with ``.value``/``.seqno``
+fields, numeric literals, arithmetic (+ − * /), unary minus, ``abs``,
+comparisons, and ``and`` / ``or`` / ``not``.  Anything else (names,
+calls, attributes outside the grammar) raises
+:class:`ConditionSyntaxError` with the offending fragment, so a malformed
+config fails loudly and nothing smuggles code into the evaluator.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.core.condition import ExpressionCondition
+from repro.core.expressions import (
+    Abs,
+    And,
+    BinOp,
+    BoolExpr,
+    Compare,
+    Const,
+    Expr,
+    FieldRef,
+    Neg,
+    Not,
+    Or,
+)
+
+__all__ = ["ConditionSyntaxError", "parse_expression", "parse_condition"]
+
+
+class ConditionSyntaxError(ValueError):
+    """The condition text falls outside the supported grammar."""
+
+
+_ARITH_OPS = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/"}
+_COMPARE_OPS = {
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+
+def _fail(node: ast.AST, message: str) -> ConditionSyntaxError:
+    fragment = ast.unparse(node) if hasattr(ast, "unparse") else "<expr>"
+    return ConditionSyntaxError(f"{message}: {fragment!r}")
+
+
+def _translate_field_ref(node: ast.Attribute) -> FieldRef:
+    """``H.<var>[<int>].value`` or ``H['<var>'][<int>].seqno``."""
+    if node.attr not in ("value", "seqno"):
+        raise _fail(node, "unknown update field (use .value or .seqno)")
+    subscript = node.value
+    if not isinstance(subscript, ast.Subscript):
+        raise _fail(node, "expected H.<var>[<index>].<field>")
+    index_node = subscript.slice
+    index_expr = index_node
+    # Accept plain ints and unary-minus ints.
+    if isinstance(index_expr, ast.UnaryOp) and isinstance(index_expr.op, ast.USub):
+        inner = index_expr.operand
+        if not (isinstance(inner, ast.Constant) and isinstance(inner.value, int)):
+            raise _fail(node, "history index must be an integer literal")
+        index = -inner.value
+    elif isinstance(index_expr, ast.Constant) and isinstance(index_expr.value, int):
+        index = index_expr.value
+    else:
+        raise _fail(node, "history index must be an integer literal")
+
+    target = subscript.value
+    if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name) \
+            and target.value.id == "H":
+        varname = target.attr
+    elif (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "H"
+        and isinstance(target.slice, ast.Constant)
+        and isinstance(target.slice.value, str)
+    ):
+        varname = target.slice.value
+    else:
+        raise _fail(node, "expected H.<var> or H['<var>']")
+    try:
+        return FieldRef(varname, index, node.attr)
+    except ValueError as error:
+        raise ConditionSyntaxError(str(error)) from None
+
+
+def _translate_numeric(node: ast.AST) -> Expr:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+            raise _fail(node, "only numeric literals are allowed")
+        return Const(float(node.value))
+    if isinstance(node, ast.Attribute):
+        return _translate_field_ref(node)
+    if isinstance(node, ast.BinOp):
+        op = _ARITH_OPS.get(type(node.op))
+        if op is None:
+            raise _fail(node, "unsupported arithmetic operator")
+        return BinOp(op, _translate_numeric(node.left), _translate_numeric(node.right))
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        # Fold negative literals into constants (so "-5" round-trips as a
+        # literal rather than a Neg node); keep Neg for everything else.
+        if isinstance(node.operand, ast.Constant) and isinstance(
+            node.operand.value, (int, float)
+        ) and not isinstance(node.operand.value, bool):
+            return Const(-float(node.operand.value))
+        return Neg(_translate_numeric(node.operand))
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "abs"
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        return Abs(_translate_numeric(node.args[0]))
+    raise _fail(node, "unsupported numeric expression")
+
+
+def _translate_boolean(node: ast.AST) -> BoolExpr:
+    if isinstance(node, ast.BoolOp):
+        parts = [_translate_boolean(value) for value in node.values]
+        combined = parts[0]
+        for part in parts[1:]:
+            combined = (
+                And(combined, part)
+                if isinstance(node.op, ast.And)
+                else Or(combined, part)
+            )
+        return combined
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        return Not(_translate_boolean(node.operand))
+    if isinstance(node, ast.Compare):
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            raise _fail(node, "chained comparisons are not supported")
+        op = _COMPARE_OPS.get(type(node.ops[0]))
+        if op is None:
+            raise _fail(node, "unsupported comparison operator")
+        return Compare(
+            op,
+            _translate_numeric(node.left),
+            _translate_numeric(node.comparators[0]),
+        )
+    raise _fail(node, "condition must be a boolean expression")
+
+
+def parse_expression(text: str) -> BoolExpr:
+    """Parse condition text into a boolean expression AST."""
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as error:
+        raise ConditionSyntaxError(f"invalid syntax: {error}") from None
+    return _translate_boolean(tree.body)
+
+
+def parse_condition(
+    name: str, text: str, conservative: bool = False
+) -> ExpressionCondition:
+    """Parse condition text into a ready-to-monitor condition."""
+    return ExpressionCondition(name, parse_expression(text), conservative)

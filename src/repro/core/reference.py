@@ -1,0 +1,144 @@
+"""The reference mapping ``T`` and the corresponding non-replicated system.
+
+Section 3 models a CE as a function ``T`` mapping a sequence of updates to
+a sequence of alerts.  The three system properties are all phrased against
+``T`` applied to combined inputs:
+
+* completeness compares ΦA against ``ΦT(U1 ⊔ U2)``;
+* consistency asks for a ``U′ ⊑ U1 ⊔ U2`` with ``ΦA ⊆ ΦT(U′)``.
+
+This module provides ``T`` as a pure function (:func:`apply_T`), the
+per-variable ordered-union combinator for update traces
+(:func:`combine_received`), and interleaving utilities needed by the
+multi-variable definitions of Appendix C.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.alert import Alert
+from repro.core.condition import Condition
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.sequences import is_ordered, ordered_union, project_seqnos
+from repro.core.update import Update
+
+__all__ = [
+    "apply_T",
+    "combine_received",
+    "merge_single_variable",
+    "interleavings",
+    "count_interleavings",
+    "is_interleaving_of",
+]
+
+
+def apply_T(condition: Condition, updates: Iterable[Update], source: str = "N") -> list[Alert]:
+    """``T(U)``: run a fresh evaluator over ``updates`` and collect alerts.
+
+    This is the behaviour of the corresponding non-replicated system N
+    (Figure 2(b)): one CE, no filtering at the AD.
+    """
+    evaluator = ConditionEvaluator(condition, source=source)
+    return evaluator.ingest_all(updates)
+
+
+def merge_single_variable(u1: Sequence[Update], u2: Sequence[Update]) -> list[Update]:
+    """``U1 ⊔ U2`` for single-variable traces: ordered union by seqno.
+
+    Inputs must each be ordered (they are subsequences of the DM's ordered
+    output).  Where both traces carry the same seqno, the snapshot values
+    must agree — the DM broadcast a single value for that seqno.
+    """
+    by_seqno: dict[int, Update] = {}
+    for update in list(u1) + list(u2):
+        existing = by_seqno.get(update.seqno)
+        if existing is None:
+            by_seqno[update.seqno] = update
+        elif existing.varname != update.varname or existing.value != update.value:
+            raise ValueError(
+                f"conflicting updates for seqno {update.seqno}: "
+                f"{existing} vs {update}"
+            )
+    seqnos1 = [u.seqno for u in u1]
+    seqnos2 = [u.seqno for u in u2]
+    merged_seqnos = ordered_union(seqnos1, seqnos2)
+    return [by_seqno[s] for s in merged_seqnos]
+
+
+def combine_received(traces: Sequence[Sequence[Update]], variables: Iterable[str]) -> dict[str, list[Update]]:
+    """Per-variable ordered union of the updates received by all CEs.
+
+    For each variable x this yields the ordered union of the x-updates in
+    every trace — the per-variable component of ``UV`` in Appendix C (and
+    ``U1 ⊔ U2`` itself in the single-variable case).
+    """
+    combined: dict[str, list[Update]] = {}
+    for var in variables:
+        merged: list[Update] = []
+        for trace in traces:
+            var_updates = [u for u in trace if u.varname == var]
+            if not is_ordered([u.seqno for u in var_updates]):
+                raise ValueError(
+                    f"trace not ordered with respect to {var!r}: "
+                    f"{project_seqnos(trace, var)}"
+                )
+            merged = merge_single_variable(merged, var_updates)
+        combined[var] = merged
+    return combined
+
+
+def interleavings(per_variable: dict[str, Sequence[Update]]) -> Iterator[list[Update]]:
+    """Generate every interleaving ``UV`` of the per-variable sequences.
+
+    Each variable's updates keep their relative order; variables are
+    shuffled together in all possible ways.  The count is multinomial in
+    the lengths, so callers must keep inputs small — use
+    :func:`count_interleavings` to pre-check, and prefer the
+    constraint-based checkers in :mod:`repro.props` for larger instances.
+    """
+    variables = [v for v, seq in per_variable.items() if len(seq) > 0]
+    sequences = {v: list(per_variable[v]) for v in variables}
+    positions = {v: 0 for v in variables}
+
+    def generate(prefix: list[Update]) -> Iterator[list[Update]]:
+        if all(positions[v] == len(sequences[v]) for v in variables):
+            yield list(prefix)
+            return
+        for var in variables:
+            if positions[var] < len(sequences[var]):
+                update = sequences[var][positions[var]]
+                positions[var] += 1
+                prefix.append(update)
+                yield from generate(prefix)
+                prefix.pop()
+                positions[var] -= 1
+
+    return generate([])
+
+
+def count_interleavings(per_variable: dict[str, Sequence[Update]]) -> int:
+    """Number of distinct interleavings (multinomial coefficient)."""
+    from math import comb
+
+    total = 0
+    count = 1
+    for seq in per_variable.values():
+        n = len(seq)
+        total += n
+        count *= comb(total, n)
+    return count
+
+
+def is_interleaving_of(candidate: Sequence[Update], per_variable: dict[str, Sequence[Update]]) -> bool:
+    """True iff ``candidate`` interleaves exactly the given per-variable runs."""
+    positions = {v: 0 for v in per_variable}
+    for update in candidate:
+        var = update.varname
+        if var not in positions:
+            return False
+        expected = per_variable[var]
+        if positions[var] >= len(expected) or expected[positions[var]] != update:
+            return False
+        positions[var] += 1
+    return all(positions[v] == len(per_variable[v]) for v in per_variable)

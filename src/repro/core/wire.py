@@ -1,0 +1,157 @@
+"""Alert wire encodings (§2).
+
+The paper notes that although an alert conceptually carries all update
+histories, "in practice this is often not necessary.  ... some systems do
+not need this information at all.  Others need only the update sequence
+numbers contained in the histories.  Still others only use these sequence
+numbers in a simple equality test, in which case it may be sufficient to
+send just a checksum of the histories."
+
+This module makes that concrete:
+
+* four encodings — FULL, SEQNOS, HEADS, CHECKSUM — with byte-size
+  accounting (:func:`encode_alert`);
+* the *minimum* encoding each AD algorithm needs
+  (:func:`minimum_encoding`): AD-2/AD-5 compare only per-variable head
+  seqnos (HEADS); AD-3/AD-4/AD-6 need the full seqno lists (SEQNOS);
+  AD-1 only equality-tests histories, so a CHECKSUM suffices;
+* :class:`ChecksumAD1` — AD-1 reimplemented over checksums alone, which
+  the test-suite shows is decision-for-decision identical to AD-1
+  (collisions aside).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.alert import Alert
+from repro.displayers.base import ADAlgorithm
+
+__all__ = [
+    "AlertEncoding",
+    "WireAlert",
+    "encode_alert",
+    "minimum_encoding",
+    "ChecksumAD1",
+    "checksum_histories",
+]
+
+#: Assumed fixed-width field sizes (bytes) for size accounting.
+_SEQNO_BYTES = 4
+_VALUE_BYTES = 8
+_CHECKSUM_BYTES = 8
+_VARNAME_BYTES = 8  # fixed-width variable identifier
+_CONDNAME_BYTES = 8
+
+
+class AlertEncoding(Enum):
+    """How much of the history set travels with an alert."""
+
+    #: Full histories: every (varname, seqno, value) tuple.
+    FULL = "full"
+    #: All sequence numbers per variable, no values.
+    SEQNOS = "seqnos"
+    #: Only the head seqno per variable (``a.seqno.x``).
+    HEADS = "heads"
+    #: A fixed-size digest of the history seqnos.
+    CHECKSUM = "checksum"
+
+
+@dataclass(frozen=True)
+class WireAlert:
+    """An alert as it would travel on the back link."""
+
+    condname: str
+    encoding: AlertEncoding
+    payload: tuple
+    size_bytes: int
+
+
+def checksum_histories(alert: Alert) -> bytes:
+    """A stable digest of the alert's history identity.
+
+    Values are excluded (identity is seqno-based, §2.2); the digest is
+    deterministic across processes.
+    """
+    hasher = hashlib.blake2b(digest_size=_CHECKSUM_BYTES)
+    hasher.update(alert.condname.encode())
+    for var in alert.histories.variables:
+        hasher.update(var.encode())
+        for seqno in alert.histories.seqnos(var):
+            hasher.update(struct.pack("<I", seqno))
+    return hasher.digest()
+
+
+def encode_alert(alert: Alert, encoding: AlertEncoding) -> WireAlert:
+    """Encode an alert, computing its on-the-wire payload and size."""
+    variables = alert.histories.variables
+    if encoding is AlertEncoding.FULL:
+        payload = tuple(
+            (var, tuple((u.seqno, u.value) for u in alert.histories[var]))
+            for var in variables
+        )
+        size = _CONDNAME_BYTES + sum(
+            _VARNAME_BYTES + len(entries) * (_SEQNO_BYTES + _VALUE_BYTES)
+            for _, entries in payload
+        )
+    elif encoding is AlertEncoding.SEQNOS:
+        payload = tuple((var, alert.histories.seqnos(var)) for var in variables)
+        size = _CONDNAME_BYTES + sum(
+            _VARNAME_BYTES + len(seqnos) * _SEQNO_BYTES for _, seqnos in payload
+        )
+    elif encoding is AlertEncoding.HEADS:
+        payload = tuple((var, alert.histories.seqno(var)) for var in variables)
+        size = _CONDNAME_BYTES + len(payload) * (_VARNAME_BYTES + _SEQNO_BYTES)
+    elif encoding is AlertEncoding.CHECKSUM:
+        payload = (checksum_histories(alert),)
+        size = _CONDNAME_BYTES + _CHECKSUM_BYTES
+    else:  # pragma: no cover - exhaustive over the enum
+        raise ValueError(f"unknown encoding {encoding!r}")
+    return WireAlert(alert.condname, encoding, payload, size)
+
+
+#: What each algorithm actually reads from an alert.
+_MINIMUM: dict[str, AlertEncoding] = {
+    "pass": AlertEncoding.CHECKSUM,   # reads nothing; smallest on offer
+    "AD-1": AlertEncoding.CHECKSUM,   # equality test on H only
+    "AD-2": AlertEncoding.HEADS,      # compares a.seqno.x to `last`
+    "AD-3": AlertEncoding.SEQNOS,     # needs every seqno + spanning gaps
+    "AD-4": AlertEncoding.SEQNOS,
+    "AD-5": AlertEncoding.HEADS,      # per-variable head comparisons
+    "AD-6": AlertEncoding.SEQNOS,
+}
+
+
+def minimum_encoding(algorithm_name: str) -> AlertEncoding:
+    """The smallest encoding sufficient for an AD algorithm (§2)."""
+    try:
+        return _MINIMUM[algorithm_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown AD algorithm {algorithm_name!r}; known: {list(_MINIMUM)}"
+        ) from None
+
+
+class ChecksumAD1(ADAlgorithm):
+    """AD-1 operating on history checksums instead of full histories.
+
+    Demonstrates the paper's point: since AD-1 only performs an equality
+    test on H, a fixed-size digest carries all the information it needs.
+    Modulo hash collisions (2^-64 per pair), its decisions are identical
+    to :class:`~repro.displayers.ad1.AD1`'s.
+    """
+
+    name = "AD-1/checksum"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seen: set[bytes] = set()
+
+    def _accept(self, alert: Alert) -> bool:
+        return checksum_histories(alert) not in self._seen
+
+    def _record(self, alert: Alert) -> None:
+        self._seen.add(checksum_histories(alert))

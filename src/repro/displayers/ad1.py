@@ -1,0 +1,35 @@
+"""Algorithm AD-1 — exact duplicate removal (Figure A-1).
+
+    P = {}                      // the empty set
+    On receiving new alert a:
+        if a is in P: discard a
+        else: P = P + {a}; add a to output sequence A
+
+Two alerts are identical iff their history sets H are the same.  AD-1 is
+the baseline algorithm of Section 3: it guarantees none of the three
+properties on its own (Table 1) but dominates every other algorithm in
+the paper (Theorems 6 and 8) — it filters the fewest alerts.
+"""
+
+from __future__ import annotations
+
+from repro.core.alert import Alert
+from repro.displayers.base import ADAlgorithm
+
+__all__ = ["AD1"]
+
+
+class AD1(ADAlgorithm):
+    """Exact duplicate removal."""
+
+    name = "AD-1"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seen: set[tuple] = set()
+
+    def _accept(self, alert: Alert) -> bool:
+        return alert.identity() not in self._seen
+
+    def _record(self, alert: Alert) -> None:
+        self._seen.add(alert.identity())

@@ -1,0 +1,109 @@
+"""Algorithm AD-3 — consistency filter for single-variable systems (Fig A-3).
+
+    Received = {};  Missed = {}
+    On receiving new alert a:
+        if Conflicts(a.history): discard a
+        else: UpdateState(a.history); add a to output sequence A
+
+    Conflicts(H):
+        any s in Hx with s in Missed            -> True
+        any s in SpanningSet(Hx) \\ Hx with s in Received -> True
+        otherwise False
+
+    UpdateState(H):
+        Received += Hx
+        Missed   += SpanningSet(Hx) - Hx
+
+The AD refuses to display two alerts whose histories place some update in
+a "conflicting state" — required received by one, required missed by the
+other.  The displayed sequence is then explainable by a single input
+``U′ = Received ⊑ U1 ⊔ U2``, which is exactly the consistency property.
+Theorem 7 proves AD-3 maximally consistent; Theorem 8 shows the cost
+(AD-1 > AD-3).
+
+Implementation note: the paper's pseudo-code for AD-3 does not test for
+*exact duplicates* — a duplicate's history re-asserts facts already in
+``Received`` and never conflicts.  Taken literally it would therefore
+display duplicates that AD-1 removes, contradicting the proof of
+Theorem 8 ("AD-3 filters out at least all the alerts filtered by AD-1").
+We follow the theorem: AD-3 additionally performs AD-1's duplicate
+suppression.  This is also what Section 2 expects of any AD ("the AD may
+need to suppress duplicate alerts").
+
+The per-variable machinery lives in :class:`ConflictTracker` so that AD-6
+can reuse it for the multi-variable extension of Figure A-6.
+"""
+
+from __future__ import annotations
+
+from repro.core.alert import Alert
+from repro.core.sequences import spanning_set
+from repro.displayers.base import ADAlgorithm
+
+__all__ = ["AD3", "ConflictTracker"]
+
+
+class ConflictTracker:
+    """Received/Missed bookkeeping for one variable."""
+
+    def __init__(self, varname: str) -> None:
+        self.varname = varname
+        self.received: set[int] = set()
+        self.missed: set[int] = set()
+
+    def conflicts(self, alert: Alert) -> bool:
+        """Would displaying ``alert`` put some seqno in a conflicting state?"""
+        if self.varname not in alert.histories:
+            return False
+        history = set(alert.histories.seqnos(self.varname))
+        if history & self.missed:
+            return True
+        gaps = spanning_set(history) - frozenset(history)
+        if gaps & self.received:
+            return True
+        return False
+
+    def record(self, alert: Alert) -> None:
+        """Fold an accepted alert's history into Received/Missed."""
+        if self.varname not in alert.histories:
+            return
+        history = set(alert.histories.seqnos(self.varname))
+        self.received |= history
+        self.missed |= spanning_set(history) - frozenset(history)
+
+    def snapshot(self) -> tuple[frozenset[int], frozenset[int]]:
+        """(Received, Missed) — the AD's U′ witness components."""
+        return frozenset(self.received), frozenset(self.missed)
+
+
+class AD3(ADAlgorithm):
+    """Received/Missed conflict filtering plus duplicate suppression."""
+
+    name = "AD-3"
+
+    def __init__(self, varname: str = "x") -> None:
+        super().__init__()
+        self.varname = varname
+        self._tracker = ConflictTracker(varname)
+        self._seen: set[tuple] = set()
+
+    def _fresh_args(self) -> tuple:
+        return (self.varname,)
+
+    @property
+    def received_set(self) -> frozenset[int]:
+        """The AD's Received set — the witness U′ for consistency proofs."""
+        return frozenset(self._tracker.received)
+
+    @property
+    def missed_set(self) -> frozenset[int]:
+        return frozenset(self._tracker.missed)
+
+    def _accept(self, alert: Alert) -> bool:
+        if alert.identity() in self._seen:
+            return False
+        return not self._tracker.conflicts(alert)
+
+    def _record(self, alert: Alert) -> None:
+        self._seen.add(alert.identity())
+        self._tracker.record(alert)

@@ -1,0 +1,98 @@
+"""Alert Displayer filtering algorithms — the common interface.
+
+The AD collects the alert streams from all CEs (already merged by arrival
+order — the function ``M`` of Appendix B) and decides, alert by alert,
+whether to display or discard each one.  Every algorithm in the paper is
+*online* and *deterministic given the arrival order*: state is updated as
+alerts are accepted, and the output sequence ``A`` is the subsequence of
+arrivals that passed the filter.
+
+Subclasses implement :meth:`_accept`; the base class keeps the displayed
+output, the discarded alerts (useful for domination/maximality analysis),
+and enforces the offer/record discipline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.alert import Alert
+
+__all__ = ["ADAlgorithm", "run_ad"]
+
+
+class ADAlgorithm:
+    """Base class for AD filtering algorithms AD-1 … AD-6.
+
+    Usage::
+
+        ad = AD2("x")
+        for alert in arrival_stream:
+            ad.offer(alert)
+        displayed = ad.output      # the final alert sequence A
+    """
+
+    #: Short name used in tables and the registry ("AD-1", ...).
+    name: str = "AD-?"
+
+    def __init__(self) -> None:
+        self._output: list[Alert] = []
+        self._discarded: list[Alert] = []
+
+    @property
+    def output(self) -> tuple[Alert, ...]:
+        """The displayed alert sequence A (so far)."""
+        return tuple(self._output)
+
+    @property
+    def discarded(self) -> tuple[Alert, ...]:
+        """Alerts filtered out (so far), in arrival order."""
+        return tuple(self._discarded)
+
+    def offer(self, alert: Alert) -> bool:
+        """Process one arriving alert; return True iff it was displayed."""
+        if self._accept(alert):
+            self._record(alert)
+            self._output.append(alert)
+            return True
+        self._discarded.append(alert)
+        return False
+
+    def offer_all(self, alerts: Iterable[Alert]) -> list[Alert]:
+        """Process a whole arrival stream; return the displayed alerts."""
+        return [a for a in alerts if self.offer(a)]
+
+    # -- to be implemented by concrete algorithms ---------------------------
+    def _accept(self, alert: Alert) -> bool:
+        """Decide whether ``alert`` may be displayed; must not mutate state."""
+        raise NotImplementedError
+
+    def _record(self, alert: Alert) -> None:
+        """Update internal state after ``alert`` has been accepted."""
+        # Default: no state beyond the output sequence.
+
+    def fresh(self) -> "ADAlgorithm":
+        """A new instance of the same algorithm with pristine state.
+
+        Used by the domination and maximality analyses, which replay the
+        same arrival stream through multiple algorithm copies.
+        """
+        return type(self)(*self._fresh_args())
+
+    def _fresh_args(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{self.name} displayed={len(self._output)} "
+            f"discarded={len(self._discarded)}>"
+        )
+
+
+def run_ad(algorithm: ADAlgorithm, arrivals: Iterable[Alert]) -> list[Alert]:
+    """Run an arrival stream through a *fresh* copy of ``algorithm``.
+
+    Returns the displayed sequence A.  The passed instance is not mutated.
+    """
+    copy = algorithm.fresh()
+    return copy.offer_all(arrivals)

@@ -1,0 +1,181 @@
+"""The §4.2 "delayed displaying" alternative, implemented and measurable.
+
+Instead of discarding out-of-order alerts (AD-2), "the AD could choose to
+hold off displaying an alert until all its predecessors have been
+received first. ... the AD could preset a timeout value t: at most t time
+after it receives an alert a, it must display a even though a's
+predecessors might not have all been received."  The paper dismisses the
+approach because "unless system delays are bounded, orderedness is no
+longer guaranteed" — but never quantifies the tradeoff.  This module
+does.
+
+:class:`DelayedDisplayAD` buffers arriving alerts and releases them in
+sequence-number order; an alert is forcibly displayed when its timeout
+expires.  Consequences, exactly as the paper predicts:
+
+* nothing is ever *dropped* for ordering reasons (only exact duplicates),
+  so strictly more alerts reach the user than under AD-2;
+* displayed order is usually sorted, but a straggler arriving more than
+  ``timeout`` after a newer alert was force-displayed causes an inversion;
+* every displayed alert pays up to ``timeout`` of extra latency.
+
+``benchmarks/bench_delayed.py`` sweeps the timeout against AD-2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.core.alert import Alert
+from repro.simulation.kernel import Kernel
+
+if TYPE_CHECKING:  # avoid a displayers <-> components import cycle
+    from repro.components.system import MonitoringSystem
+
+__all__ = ["DelayedDisplayAD", "attach_delayed_ad"]
+
+
+class DelayedDisplayAD:
+    """Buffer-and-release Alert Displayer with a display timeout.
+
+    Not an :class:`~repro.displayers.base.ADAlgorithm`: its decisions
+    depend on *time*, so it lives on the kernel.  Alerts are released in
+    seqno order whenever possible; each alert is displayed no later than
+    ``timeout`` after its arrival.
+
+    Parameters
+    ----------
+    kernel:
+        The simulation kernel (for timeouts and timestamps).
+    varname:
+        The condition's (single) variable, whose ``a.seqno.x`` orders
+        alerts.
+    timeout:
+        Maximum extra latency the AD may add to any alert.  ``0`` means
+        display immediately in arrival order (AD-1-like);
+        ``float("inf")`` means wait forever (the paper's "indefinite
+        delays" problem — only ever releases in order).
+    """
+
+    def __init__(self, kernel: Kernel, varname: str, timeout: float) -> None:
+        if timeout < 0:
+            raise ValueError(f"timeout must be non-negative, got {timeout}")
+        self.kernel = kernel
+        self.varname = varname
+        self.timeout = timeout
+        self._counter = itertools.count()
+        #: Buffered alerts: list of (seqno, tie, deadline, alert).
+        self._buffer: list[tuple[int, int, float, Alert]] = []
+        self._seen: set[tuple] = set()
+        self._displayed: list[Alert] = []
+        self._display_times: list[float] = []
+        self._arrival_times: dict[int, float] = {}
+        self._arrivals = 0
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def displayed(self) -> tuple[Alert, ...]:
+        return tuple(self._displayed)
+
+    @property
+    def arrivals(self) -> int:
+        return self._arrivals
+
+    @property
+    def duplicates_dropped(self) -> int:
+        return self._arrivals - len(self._displayed) - len(self._buffer)
+
+    def mean_added_latency(self) -> float:
+        """Mean (display time − arrival time) over displayed alerts."""
+        if not self._displayed:
+            return 0.0
+        total = 0.0
+        for alert, shown_at in zip(self._displayed, self._display_times):
+            total += shown_at - self._arrival_times[id(alert)]
+        return total / len(self._displayed)
+
+    # -- operation -----------------------------------------------------------
+    def receive(self, message) -> None:
+        if not isinstance(message, Alert):
+            raise TypeError(f"expected an Alert, got {type(message)!r}")
+        self._arrivals += 1
+        if message.identity() in self._seen:
+            return  # duplicate suppression, as every AD must do
+        self._seen.add(message.identity())
+        self._arrival_times[id(message)] = self.kernel.now
+        deadline = self.kernel.now + self.timeout
+        self._buffer.append(
+            (message.seqno(self.varname), next(self._counter), deadline, message)
+        )
+        self._buffer.sort()
+        self._release_ready()
+        if self.timeout != float("inf"):
+            self.kernel.schedule(
+                self.timeout, self._on_deadline, note="delayed-AD timeout"
+            )
+
+    def _on_deadline(self) -> None:
+        now = self.kernel.now
+        # Force out every alert whose deadline has passed — and, to keep
+        # the output as sorted as possible, everything buffered with a
+        # smaller seqno goes out first (in order).
+        while self._buffer:
+            expired = any(deadline <= now for _, _, deadline, _ in self._buffer)
+            if not expired:
+                break
+            head = self._buffer[0]
+            if head[2] <= now:
+                self._display(self._buffer.pop(0)[3])
+                continue
+            # Head not expired, but something deeper is: release the head
+            # early (it has the smallest seqno) to preserve order.
+            self._display(self._buffer.pop(0)[3])
+        self._release_ready()
+
+    def _release_ready(self) -> None:
+        """Release buffered alerts that cannot be pre-empted.
+
+        An alert whose seqno continues the displayed prefix contiguously
+        (last displayed seqno + 1) can never be preceded by a missing
+        predecessor, so it is released immediately; this keeps latency
+        near zero on gap-free streams.
+        """
+        while self._buffer:
+            seqno = self._buffer[0][0]
+            last = (
+                self._displayed[-1].seqno(self.varname)
+                if self._displayed
+                else 0
+            )
+            if seqno == last + 1:
+                self._display(self._buffer.pop(0)[3])
+            else:
+                break
+
+    def _display(self, alert: Alert) -> None:
+        self._displayed.append(alert)
+        self._display_times.append(self.kernel.now)
+
+    def flush(self) -> None:
+        """Display everything still buffered, in seqno order (end of run)."""
+        while self._buffer:
+            self._display(self._buffer.pop(0)[3])
+
+
+def attach_delayed_ad(
+    system: "MonitoringSystem", timeout: float
+) -> DelayedDisplayAD:
+    """Replace a built system's AD with a delayed-display AD.
+
+    The system must be single-variable and not yet run.  Back links are
+    rewired to the delayed AD; the original ADNode sees nothing.
+    """
+    variables = system.condition.variables
+    if len(variables) != 1:
+        raise ValueError("delayed display is defined for single-variable systems")
+    delayed = DelayedDisplayAD(system.kernel, variables[0], timeout)
+    for ce in system.ces:
+        if ce.back_link is not None:
+            ce.back_link.receiver = delayed.receive
+    return delayed

@@ -1,0 +1,28 @@
+"""Multiple-condition systems (Appendix D)."""
+
+from repro.multicondition.algebra import ConjunctionCondition, NegationCondition
+from repro.multicondition.combined import (
+    DisjunctionCondition,
+    PerConditionAD,
+    example_4,
+    trim_histories,
+)
+from repro.multicondition.system import (
+    DemuxAD,
+    MultiConditionResult,
+    MultiConditionSystem,
+    colocated_system,
+)
+
+__all__ = [
+    "ConjunctionCondition",
+    "DemuxAD",
+    "NegationCondition",
+    "DisjunctionCondition",
+    "MultiConditionResult",
+    "MultiConditionSystem",
+    "PerConditionAD",
+    "colocated_system",
+    "example_4",
+    "trim_histories",
+]

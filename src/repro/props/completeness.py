@@ -1,0 +1,139 @@
+"""Completeness — property 2 of Section 3.1 / Appendix C.
+
+Single variable: A is complete iff ``ΦA = ΦT(U1 ⊔ U2)`` — the user sees
+exactly the alerts the corresponding non-replicated system would have
+produced on the combined inputs (possibly reordered).
+
+Multi variable (Appendix C): completeness requires ``ΦA = ΦT(UV)`` for an
+interleaving UV of the per-variable ordered unions.  The definition reads
+"any interleaving"; the proof of Lemma 6 establishes *in*completeness by
+showing that *no* interleaving UV yields exactly ΦA, so the operative
+reading — and the one we implement — is existential: A is complete iff
+some interleaving realises exactly its alert set.  (For a single
+variable there is exactly one interleaving, U1 ⊔ U2, so the definitions
+coincide.)
+
+The multi-variable decision enumerates interleavings and is exponential;
+:func:`check_completeness_multi` therefore takes a hard ``limit`` and the
+table benchmarks use deliberately short traces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.alert import Alert, alert_identity_set
+from repro.core.condition import Condition
+from repro.core.reference import (
+    apply_T,
+    combine_received,
+    count_interleavings,
+    interleavings,
+)
+from repro.core.update import Update
+
+__all__ = [
+    "CompletenessResult",
+    "check_completeness_single",
+    "check_completeness_multi",
+    "check_completeness",
+]
+
+
+@dataclass(frozen=True)
+class CompletenessResult:
+    """Verdict plus the witnessed discrepancies.
+
+    ``missing`` are alert identities T(U1⊔U2) produces but A lacks;
+    ``extraneous`` are identities in A that the reference never produces.
+    For the multi-variable case the sets are relative to the *closest*
+    interleaving examined (the one minimising the symmetric difference).
+    """
+
+    complete: bool
+    missing: frozenset[tuple] = frozenset()
+    extraneous: frozenset[tuple] = frozenset()
+    #: Multi-variable only: a witnessing interleaving when complete.
+    witness_interleaving: tuple[Update, ...] | None = field(
+        default=None, compare=False
+    )
+
+    def __bool__(self) -> bool:
+        return self.complete
+
+
+def check_completeness_single(
+    alerts: Sequence[Alert],
+    condition: Condition,
+    merged_updates: Sequence[Update],
+) -> CompletenessResult:
+    """Single-variable completeness: ΦA = ΦT(U1 ⊔ U2).
+
+    ``merged_updates`` is the already-merged ``U1 ⊔ U2`` (see
+    :func:`repro.core.reference.merge_single_variable`).
+    """
+    expected = alert_identity_set(apply_T(condition, merged_updates))
+    actual = alert_identity_set(alerts)
+    return CompletenessResult(
+        complete=(expected == actual),
+        missing=frozenset(expected - actual),
+        extraneous=frozenset(actual - expected),
+    )
+
+
+def check_completeness_multi(
+    alerts: Sequence[Alert],
+    condition: Condition,
+    per_variable_updates: dict[str, Sequence[Update]],
+    limit: int = 500_000,
+) -> CompletenessResult:
+    """Multi-variable completeness: ∃ interleaving UV with ΦA = ΦT(UV).
+
+    Exhaustive over interleavings of the per-variable ordered unions.
+    Raises RuntimeError when the interleaving count exceeds ``limit``
+    rather than guessing.
+    """
+    total = count_interleavings(per_variable_updates)
+    if total > limit:
+        raise RuntimeError(
+            f"{total} interleavings exceed limit={limit}; shorten the traces "
+            "for exact multi-variable completeness checking"
+        )
+    actual = alert_identity_set(alerts)
+    best_missing: frozenset[tuple] = frozenset()
+    best_extraneous: frozenset[tuple] = frozenset()
+    best_score: int | None = None
+    for candidate in interleavings(
+        {var: list(seq) for var, seq in per_variable_updates.items()}
+    ):
+        expected = alert_identity_set(apply_T(condition, candidate))
+        if expected == actual:
+            return CompletenessResult(
+                True, witness_interleaving=tuple(candidate)
+            )
+        missing = frozenset(expected - actual)
+        extraneous = frozenset(actual - expected)
+        score = len(missing) + len(extraneous)
+        if best_score is None or score < best_score:
+            best_score = score
+            best_missing = missing
+            best_extraneous = extraneous
+    return CompletenessResult(False, missing=best_missing, extraneous=best_extraneous)
+
+
+def check_completeness(
+    alerts: Sequence[Alert],
+    condition: Condition,
+    traces: Sequence[Sequence[Update]],
+    limit: int = 500_000,
+) -> CompletenessResult:
+    """Dispatch on variable count, combining the CE traces first.
+
+    ``traces`` are the per-CE received update sequences (U1, U2, ...).
+    """
+    per_variable = combine_received(traces, condition.variables)
+    if len(condition.variables) == 1:
+        var = condition.variables[0]
+        return check_completeness_single(alerts, condition, per_variable[var])
+    return check_completeness_multi(alerts, condition, per_variable, limit=limit)

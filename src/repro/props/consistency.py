@@ -1,0 +1,282 @@
+"""Consistency — property 3 of Section 3.1 / Appendix C.
+
+A replicated system is *consistent* if for every alert sequence A it
+produces there exists a ``U′`` with ``ΦA ⊆ ΦT(U′)`` and ``U′ ⊑ U1 ⊔ U2``
+(single variable) or ``U′ ⊑ UV`` for an interleaving UV of the combined
+per-variable updates (multi-variable, Appendix C).  Intuitively: the user
+could have received this alert set from *some* non-replicated system fed
+a subset of the combined inputs — no "extraneous" alerts.
+
+Three checkers, in increasing generality and cost:
+
+* :func:`check_consistency_single` — exact for single-variable conditions,
+  linear time.  It is the constraint system from the proof of Theorem 7:
+  each alert requires its history seqnos *received* and the gaps inside
+  its history span *missed*; A is consistent iff no seqno is required
+  both ways.  (The alert's own trigger truth is free: the emitting CE
+  evaluated the condition on exactly that history.)
+* :func:`check_consistency_multi` — exact for *non-historical*
+  multi-variable conditions, polynomial time.  It is the precedence-graph
+  construction from the proof of Lemma 5: alert a with seqnos (sx, sy, …)
+  is in T(UV) iff sx precedes (sy+1) of y, etc.; A is consistent iff the
+  constraint graph (plus per-variable chains) is acyclic.
+* :func:`check_consistency_bruteforce` — exact for everything, exponential;
+  enumerates candidate U′ sequences.  Used to cross-validate the fast
+  checkers on small instances and to decide historical multi-variable
+  cases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.alert import Alert, alert_identity_set
+from repro.core.condition import Condition
+from repro.core.reference import apply_T, interleavings
+from repro.core.sequences import spanning_set
+from repro.core.update import Update
+
+__all__ = [
+    "ConsistencyResult",
+    "check_consistency_single",
+    "check_consistency_multi",
+    "check_consistency_bruteforce",
+    "build_precedence_graph",
+]
+
+
+@dataclass(frozen=True)
+class ConsistencyResult:
+    """Verdict plus a witness (on success) or a conflict (on failure)."""
+
+    consistent: bool
+    #: On success: the required-received set used as U′ — seqnos for the
+    #: single-variable checker, (var, seqno) pairs for the multi-variable one.
+    witness_received: frozenset | None = None
+    #: On failure: a human-readable description of the first conflict found.
+    conflict: str | None = None
+    #: On success for the brute-force checker: an explicit U′ sequence.
+    witness_sequence: tuple[Update, ...] | None = field(default=None, compare=False)
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def check_consistency_single(
+    alerts: Sequence[Alert],
+    varname: str | None = None,
+) -> ConsistencyResult:
+    """Exact single-variable consistency check (Theorem 7's construction).
+
+    ``varname`` defaults to the single variable of the first alert.  An
+    empty A is trivially consistent.
+    """
+    if not alerts:
+        return ConsistencyResult(True, witness_received=frozenset())
+    if varname is None:
+        variables = alerts[0].variables
+        if len(variables) != 1:
+            raise ValueError(
+                "check_consistency_single needs a single-variable condition; "
+                f"alert has variables {variables}"
+            )
+        varname = variables[0]
+
+    received: set[int] = set()
+    missed: set[int] = set()
+    for index, alert in enumerate(alerts):
+        history = set(alert.histories.seqnos(varname))
+        gaps = spanning_set(history) - frozenset(history)
+        conflict_recv = history & missed
+        if conflict_recv:
+            seqno = min(conflict_recv)
+            return ConsistencyResult(
+                False,
+                conflict=(
+                    f"alert #{index} {alert.shorthand()} requires update "
+                    f"{seqno} received, but an earlier alert requires it missed"
+                ),
+            )
+        conflict_miss = gaps & received
+        if conflict_miss:
+            seqno = min(conflict_miss)
+            return ConsistencyResult(
+                False,
+                conflict=(
+                    f"alert #{index} {alert.shorthand()} requires update "
+                    f"{seqno} missed, but an earlier alert requires it received"
+                ),
+            )
+        received |= history
+        missed |= gaps
+    return ConsistencyResult(True, witness_received=frozenset(received))
+
+
+def build_precedence_graph(
+    alerts: Iterable[Alert],
+    variables: Sequence[str],
+    max_seqnos: dict[str, int] | None = None,
+) -> nx.DiGraph:
+    """The Lemma-5 precedence graph over update instances ``(var, seqno)``.
+
+    Edges:
+
+    * per-variable chains ``(v, s) → (v, s+1)`` (Requirement 2);
+    * for every alert and ordered variable pair (v, w):
+      ``(v, a.seqno.v) → (w, a.seqno.w + 1)`` (Requirement 1) — the
+      triggering v-update must precede the first w-update *newer* than the
+      alert's w-history head.
+    """
+    graph = nx.DiGraph()
+    alerts = list(alerts)
+    highest: dict[str, int] = dict(max_seqnos or {})
+    for alert in alerts:
+        for var in variables:
+            needed = alert.seqno(var) + 1
+            highest[var] = max(highest.get(var, 0), needed)
+    for var in variables:
+        top = highest.get(var, 0)
+        for seqno in range(1, top + 1):
+            graph.add_node((var, seqno))
+            if seqno > 1:
+                graph.add_edge((var, seqno - 1), (var, seqno))
+    for alert in alerts:
+        for var_v, var_w in itertools.permutations(variables, 2):
+            graph.add_edge(
+                (var_v, alert.seqno(var_v)), (var_w, alert.seqno(var_w) + 1)
+            )
+    return graph
+
+
+def check_consistency_multi(
+    alerts: Sequence[Alert],
+    variables: Sequence[str],
+) -> ConsistencyResult:
+    """Exact multi-variable consistency check (historical or not).
+
+    A witness ``U′ ⊑ UV`` may drop updates, so w.l.o.g. take U′ to contain
+    exactly the updates *required* by the alerts' histories — dropping
+    anything else only removes constraints.  A is then consistent iff
+
+    1. **membership** is satisfiable per variable: no seqno is both
+       required (in some alert's history) and required-missing (inside
+       some alert's history span but not in it) — the Received/Missed
+       condition of Theorem 7, applied per variable; and
+    2. **ordering** is satisfiable: the precedence digraph over the
+       required updates is acyclic.  Edges are (a) per-variable chains
+       between consecutive required seqnos and (b), per alert and ordered
+       variable pair (v, w), an edge from the alert's v-head to the first
+       required w-update *newer* than its w-head — the Lemma-5
+       requirement that, at trigger time, no newer w-update had arrived.
+
+    With only required members kept, condition 1 also forces each alert's
+    per-variable history to be exactly the adjacent run it claims, so the
+    construction covers historical conditions as well; the test-suite
+    cross-validates this checker against the exhaustive oracle.
+    """
+    if not alerts:
+        return ConsistencyResult(True)
+
+    required: dict[str, set[int]] = {var: set() for var in variables}
+    missed: dict[str, set[int]] = {var: set() for var in variables}
+    for alert in alerts:
+        for var in variables:
+            history = set(alert.histories.seqnos(var))
+            gaps = spanning_set(history) - frozenset(history)
+            required[var] |= history
+            missed[var] |= gaps
+    for var in variables:
+        conflict = required[var] & missed[var]
+        if conflict:
+            seqno = min(conflict)
+            return ConsistencyResult(
+                False,
+                conflict=(
+                    f"update {seqno}{var} is required received by one alert "
+                    "and required missed by another"
+                ),
+            )
+
+    graph = nx.DiGraph()
+    sorted_required = {var: sorted(required[var]) for var in variables}
+    for var in variables:
+        run = sorted_required[var]
+        graph.add_nodes_from((var, s) for s in run)
+        graph.add_edges_from(
+            ((var, a), (var, b)) for a, b in zip(run, run[1:])
+        )
+    for alert in alerts:
+        for var_v, var_w in itertools.permutations(variables, 2):
+            head_v = alert.seqno(var_v)
+            head_w = alert.seqno(var_w)
+            successor = next(
+                (s for s in sorted_required[var_w] if s > head_w), None
+            )
+            if successor is not None:
+                graph.add_edge((var_v, head_v), (var_w, successor))
+    try:
+        cycle = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return ConsistencyResult(
+            True,
+            witness_received=frozenset(
+                (var, s) for var in variables for s in required[var]
+            ),
+        )
+    rendered = " -> ".join(f"{s}{v}" for (v, s), _ in cycle)
+    return ConsistencyResult(
+        False, conflict=f"precedence cycle over updates: {rendered}"
+    )
+
+
+def _ordered_subsequences(updates: Sequence[Update]) -> Iterable[tuple[Update, ...]]:
+    """All subsequences of an ordered per-variable update run."""
+    for mask in range(1 << len(updates)):
+        yield tuple(u for i, u in enumerate(updates) if mask & (1 << i))
+
+
+def check_consistency_bruteforce(
+    alerts: Sequence[Alert],
+    condition: Condition,
+    per_variable_updates: dict[str, Sequence[Update]],
+    limit: int = 2_000_000,
+) -> ConsistencyResult:
+    """Exhaustive consistency oracle: search for an explicit witness U′.
+
+    ``per_variable_updates`` holds, for each variable, the ordered union
+    of updates received by all CEs (the building blocks of UV).  The
+    search enumerates every per-variable subset and every interleaving of
+    the chosen subsets, applying T to each candidate U′.  ``limit`` bounds
+    the number of candidate sequences examined; exceeding it raises
+    RuntimeError rather than silently returning a wrong verdict.
+    """
+    if not alerts:
+        return ConsistencyResult(True, witness_sequence=())
+    targets = alert_identity_set(alerts)
+    examined = 0
+    subset_choices = [
+        list(_ordered_subsequences(list(per_variable_updates[var])))
+        for var in per_variable_updates
+    ]
+    varnames = list(per_variable_updates)
+    for chosen in itertools.product(*subset_choices):
+        per_var = {var: list(subset) for var, subset in zip(varnames, chosen)}
+        for candidate in interleavings(per_var):
+            examined += 1
+            if examined > limit:
+                raise RuntimeError(
+                    f"consistency brute-force exceeded limit={limit}; "
+                    "use the constraint-based checkers for instances this size"
+                )
+            produced = alert_identity_set(apply_T(condition, candidate))
+            if targets <= produced:
+                return ConsistencyResult(
+                    True, witness_sequence=tuple(candidate)
+                )
+    return ConsistencyResult(
+        False, conflict=f"no U' among {examined} candidates explains A"
+    )

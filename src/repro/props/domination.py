@@ -1,0 +1,91 @@
+"""Domination between AD algorithms (Section 4.1).
+
+``G1 ≥ G2`` (G1 dominates G2) iff, given the same input into the AD —
+the same interleaved arrival stream of alerts — G1 always produces a
+supersequence of G2's output.  ``G1 > G2`` (strict) iff additionally some
+input makes G1's output a strict supersequence.  A dominant algorithm
+filters fewer alerts: "all else being the same, if G1 > G2, G1 is
+considered a better algorithm".
+
+These are ∀-statements over inputs, so we *test* them empirically: replay
+many arrival streams through fresh copies of both algorithms and check
+the supersequence relation per stream, collecting strictness witnesses.
+A single violated stream refutes domination with a concrete
+counterexample; the paper's theorems (6 and 8) predict zero violations
+for (AD-1, AD-2) and (AD-1, AD-3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.alert import Alert
+from repro.core.sequences import is_strict_supersequence, is_subsequence
+from repro.displayers.base import ADAlgorithm, run_ad
+
+__all__ = ["DominationResult", "dominates_on", "test_domination"]
+
+
+@dataclass
+class DominationResult:
+    """Outcome of replaying a set of arrival streams through G1 and G2."""
+
+    g1_name: str
+    g2_name: str
+    streams: int = 0
+    #: Streams where G2's output was NOT a subsequence of G1's.
+    violations: int = 0
+    #: Streams where G1's output was a strict supersequence of G2's.
+    strict_witnesses: int = 0
+    #: First violating stream, for replay/debugging.
+    first_violation: tuple[Alert, ...] | None = field(default=None, repr=False)
+    #: First strictness witness stream.
+    first_strict_witness: tuple[Alert, ...] | None = field(default=None, repr=False)
+
+    @property
+    def dominates(self) -> bool:
+        """G1 ≥ G2 on every replayed stream."""
+        return self.violations == 0
+
+    @property
+    def strictly_dominates(self) -> bool:
+        """G1 ≥ G2 everywhere and > G2 somewhere (within the tested streams)."""
+        return self.dominates and self.strict_witnesses > 0
+
+
+def dominates_on(
+    g1: ADAlgorithm, g2: ADAlgorithm, arrivals: Sequence[Alert]
+) -> tuple[bool, bool]:
+    """(G2's output ⊑ G1's output, strictly?) on one arrival stream.
+
+    Fresh copies of both algorithms are used; the passed instances are not
+    mutated.
+    """
+    out1 = run_ad(g1, arrivals)
+    out2 = run_ad(g2, arrivals)
+    holds = is_subsequence(out2, out1)
+    strict = holds and is_strict_supersequence(out1, out2)
+    return holds, strict
+
+
+def test_domination(
+    g1: ADAlgorithm,
+    g2: ADAlgorithm,
+    arrival_streams: Iterable[Sequence[Alert]],
+) -> DominationResult:
+    """Replay every stream; tally violations and strictness witnesses."""
+    result = DominationResult(g1.name, g2.name)
+    for stream in arrival_streams:
+        stream = tuple(stream)
+        result.streams += 1
+        holds, strict = dominates_on(g1, g2, stream)
+        if not holds:
+            result.violations += 1
+            if result.first_violation is None:
+                result.first_violation = stream
+        elif strict:
+            result.strict_witnesses += 1
+            if result.first_strict_witness is None:
+                result.first_strict_witness = stream
+    return result

@@ -1,0 +1,92 @@
+"""Empirical maximality probes (Theorems 5, 7 and 9).
+
+An algorithm G is *maximally P* (P = ordered / consistent / both) when G
+guarantees P and no P-guaranteeing algorithm strictly dominates it.  The
+paper proves maximality for AD-2, AD-3 and AD-4.  Maximality quantifies
+over all algorithms, which cannot be tested directly — but the proofs all
+share one structure: *every alert the algorithm discards would break P if
+displayed*.  Any algorithm that lets such an alert through (at the point
+it arrived) therefore fails P, so none can strictly dominate.
+
+:func:`greedy_maximality_probe` operationalises exactly that argument:
+replay an arrival stream, and for each discarded alert check that
+appending it to the displayed-so-far prefix violates the property.  If
+every discard is *justified* in this sense on every tested stream, the
+measured data is consistent with the theorem; a single unjustified
+discard would be a counterexample to maximality (the alert could have
+been displayed by a better P-guaranteeing filter).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.alert import Alert
+from repro.displayers.base import ADAlgorithm
+
+__all__ = ["MaximalityResult", "greedy_maximality_probe", "probe_streams"]
+
+#: A property predicate over a displayed alert sequence.
+PropertyChecker = Callable[[Sequence[Alert]], bool]
+
+
+@dataclass
+class MaximalityResult:
+    """Tally of justified vs unjustified discards across streams."""
+
+    algorithm: str
+    streams: int = 0
+    discards: int = 0
+    unjustified: int = 0
+    #: First (prefix, alert) pair whose re-addition kept the property.
+    first_counterexample: tuple[tuple[Alert, ...], Alert] | None = field(
+        default=None, repr=False
+    )
+
+    @property
+    def maximal(self) -> bool:
+        """True when every discard was necessary to preserve the property."""
+        return self.unjustified == 0
+
+
+def greedy_maximality_probe(
+    algorithm: ADAlgorithm,
+    arrivals: Sequence[Alert],
+    property_holds: PropertyChecker,
+    result: MaximalityResult | None = None,
+) -> MaximalityResult:
+    """Check that every alert ``algorithm`` discards had to be discarded.
+
+    For each arriving alert the probe asks: would displaying it (after
+    the alerts displayed so far) keep the property?  If yes but the
+    algorithm discarded it, that discard is *unjustified* — evidence
+    against maximality.
+    """
+    if result is None:
+        result = MaximalityResult(algorithm.name)
+    ad = algorithm.fresh()
+    result.streams += 1
+    for alert in arrivals:
+        prefix = list(ad.output)
+        displayed = ad.offer(alert)
+        if displayed:
+            continue
+        result.discards += 1
+        if property_holds(prefix + [alert]):
+            result.unjustified += 1
+            if result.first_counterexample is None:
+                result.first_counterexample = (tuple(prefix), alert)
+    return result
+
+
+def probe_streams(
+    algorithm: ADAlgorithm,
+    arrival_streams: Iterable[Sequence[Alert]],
+    property_holds: PropertyChecker,
+) -> MaximalityResult:
+    """Run the greedy probe over many arrival streams, accumulating."""
+    result = MaximalityResult(algorithm.name)
+    for stream in arrival_streams:
+        greedy_maximality_probe(algorithm, tuple(stream), property_holds, result)
+    return result

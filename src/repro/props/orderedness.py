@@ -1,0 +1,47 @@
+"""Orderedness — property 1 of Section 3.1 / Appendix C.
+
+A replicated system is *ordered* if every alert sequence A it produces is
+ordered: for every variable x in V, the projection ``Πx A`` (the sequence
+of ``a.seqno.x`` values) is non-decreasing.  The corresponding
+non-replicated system always delivers alerts in this order, so an ordered
+replicated system "behaves similarly in this respect".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.alert import Alert, project_alert_seqnos
+from repro.core.sequences import first_inversion, is_ordered
+
+__all__ = ["OrderednessResult", "check_orderedness", "is_alert_sequence_ordered"]
+
+
+@dataclass(frozen=True)
+class OrderednessResult:
+    """Verdict plus, on failure, the first witnessed inversion."""
+
+    ordered: bool
+    #: Variable in which the first inversion occurs (None when ordered).
+    violating_variable: str | None = None
+    #: Index into A of the alert that regresses (None when ordered).
+    violation_index: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.ordered
+
+
+def check_orderedness(alerts: Sequence[Alert], variables: Iterable[str]) -> OrderednessResult:
+    """Decide orderedness of A with respect to every variable in V."""
+    for var in variables:
+        projection = project_alert_seqnos(alerts, var)
+        index = first_inversion(projection)
+        if index is not None:
+            return OrderednessResult(False, var, index)
+    return OrderednessResult(True)
+
+
+def is_alert_sequence_ordered(alerts: Sequence[Alert], variables: Iterable[str]) -> bool:
+    """Plain-bool convenience wrapper around :func:`check_orderedness`."""
+    return all(is_ordered(project_alert_seqnos(alerts, var)) for var in variables)

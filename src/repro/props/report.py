@@ -1,0 +1,168 @@
+"""Per-run property evaluation and aggregation across trials.
+
+:func:`evaluate_run` decides all three properties for one completed run of
+a replicated system — given the condition, the per-CE received traces
+(U1, U2, …) and the displayed alert sequence A — picking the right
+checker for the condition's shape.  :class:`PropertyTally` aggregates the
+verdicts over many randomized trials into the ✓/✗ cells of the paper's
+tables ("✓" = no violation ever witnessed, "✗" = at least one violation,
+with the first witness retained for replay).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.alert import Alert
+from repro.core.condition import Condition
+from repro.core.reference import combine_received, count_interleavings
+from repro.core.update import Update
+from repro.props.completeness import (
+    CompletenessResult,
+    check_completeness_multi,
+    check_completeness_single,
+)
+from repro.props.consistency import (
+    ConsistencyResult,
+    check_consistency_multi,
+    check_consistency_single,
+)
+from repro.props.orderedness import OrderednessResult, check_orderedness
+
+__all__ = ["PropertyReport", "PropertyTally", "evaluate_run"]
+
+#: Above this many interleavings, the exhaustive multi-variable
+#: completeness/consistency oracles are skipped (verdict None).
+DEFAULT_INTERLEAVING_LIMIT = 200_000
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Verdicts for one run.  ``None`` = checker skipped (instance too big)."""
+
+    ordered: OrderednessResult
+    complete: CompletenessResult | None
+    consistent: ConsistencyResult | None
+
+    @property
+    def summary(self) -> dict[str, bool | None]:
+        return {
+            "ordered": bool(self.ordered),
+            "complete": None if self.complete is None else bool(self.complete),
+            "consistent": None if self.consistent is None else bool(self.consistent),
+        }
+
+
+def evaluate_run(
+    condition: Condition,
+    traces: Sequence[Sequence[Update]],
+    displayed: Sequence[Alert],
+    interleaving_limit: int = DEFAULT_INTERLEAVING_LIMIT,
+) -> PropertyReport:
+    """Decide orderedness, completeness and consistency for one run.
+
+    ``traces`` are the update sequences actually received by each CE;
+    ``displayed`` is the AD's final output A.
+    """
+    variables = condition.variables
+    ordered = check_orderedness(displayed, variables)
+    per_variable = combine_received(traces, variables)
+
+    if len(variables) == 1:
+        var = variables[0]
+        complete: CompletenessResult | None = check_completeness_single(
+            displayed, condition, per_variable[var]
+        )
+        consistent: ConsistencyResult | None = check_consistency_single(
+            displayed, var
+        )
+        return PropertyReport(ordered, complete, consistent)
+
+    # Multi-variable: exhaustive completeness only when tractable.
+    n_interleavings = count_interleavings(per_variable)
+    if n_interleavings <= interleaving_limit:
+        complete = check_completeness_multi(
+            displayed, condition, per_variable, limit=interleaving_limit
+        )
+    else:
+        complete = None
+
+    # The member-based constraint checker is exact for historical and
+    # non-historical multi-variable conditions alike (cross-validated
+    # against check_consistency_bruteforce in the test-suite).
+    consistent = check_consistency_multi(displayed, variables)
+    return PropertyReport(ordered, complete, consistent)
+
+
+@dataclass
+class PropertyTally:
+    """Aggregate verdicts over many runs of one (scenario, algorithm) cell."""
+
+    runs: int = 0
+    ordered_violations: int = 0
+    completeness_violations: int = 0
+    consistency_violations: int = 0
+    completeness_checked: int = 0
+    consistency_checked: int = 0
+    first_unordered_seed: int | None = None
+    first_incomplete_seed: int | None = None
+    first_inconsistent_seed: int | None = None
+    #: Retained first-violation details for the experiment log.
+    witnesses: dict[str, str] = field(default_factory=dict)
+
+    def add(self, report: PropertyReport, seed: int | None = None) -> None:
+        self.runs += 1
+        if not report.ordered:
+            self.ordered_violations += 1
+            if self.first_unordered_seed is None:
+                self.first_unordered_seed = seed
+                self.witnesses.setdefault(
+                    "ordered",
+                    f"inversion in {report.ordered.violating_variable} at "
+                    f"alert index {report.ordered.violation_index}",
+                )
+        if report.complete is not None:
+            self.completeness_checked += 1
+            if not report.complete:
+                self.completeness_violations += 1
+                if self.first_incomplete_seed is None:
+                    self.first_incomplete_seed = seed
+                    self.witnesses.setdefault(
+                        "complete",
+                        f"missing={len(report.complete.missing)} "
+                        f"extraneous={len(report.complete.extraneous)}",
+                    )
+        if report.consistent is not None:
+            self.consistency_checked += 1
+            if not report.consistent:
+                self.consistency_violations += 1
+                if self.first_inconsistent_seed is None:
+                    self.first_inconsistent_seed = seed
+                    self.witnesses.setdefault(
+                        "consistent", report.consistent.conflict or "conflict"
+                    )
+
+    @property
+    def always_ordered(self) -> bool:
+        return self.ordered_violations == 0
+
+    @property
+    def always_complete(self) -> bool | None:
+        if self.completeness_checked == 0:
+            return None
+        return self.completeness_violations == 0
+
+    @property
+    def always_consistent(self) -> bool | None:
+        if self.consistency_checked == 0:
+            return None
+        return self.consistency_violations == 0
+
+    def cell(self) -> dict[str, bool | None]:
+        """The (ordered, complete, consistent) table cell for this tally."""
+        return {
+            "ordered": self.always_ordered,
+            "complete": self.always_complete,
+            "consistent": self.always_consistent,
+        }

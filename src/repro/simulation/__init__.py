@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate: kernel, RNG streams, links, nodes,
+failure injection."""
+
+from repro.simulation.failures import CrashSchedule, random_crash_schedule
+from repro.simulation.kernel import Event, Kernel, SimulationError
+from repro.simulation.network import (
+    DelayModel,
+    FixedDelay,
+    Link,
+    LossyFifoLink,
+    PerLinkSkewDelay,
+    ReliableLink,
+    StoreAndForwardLink,
+    UniformDelay,
+)
+from repro.simulation.node import Node
+from repro.simulation.rng import RandomStreams
+
+__all__ = [
+    "CrashSchedule",
+    "DelayModel",
+    "Event",
+    "FixedDelay",
+    "Kernel",
+    "Link",
+    "LossyFifoLink",
+    "Node",
+    "PerLinkSkewDelay",
+    "RandomStreams",
+    "ReliableLink",
+    "SimulationError",
+    "StoreAndForwardLink",
+    "UniformDelay",
+    "random_crash_schedule",
+]

@@ -1,0 +1,102 @@
+"""Failure injection: crash windows for Condition Evaluators.
+
+The paper motivates replication with CE downtime: "the CE can go down,
+causing it to miss updates.  Consequently, the CE may not know when a
+condition is satisfied."  A :class:`CrashSchedule` is a set of closed
+intervals of simulated time during which a node is down; messages
+delivered inside a window are lost to that node permanently (datagram
+semantics — the DM does not retransmit).
+
+Used by the availability benchmark (Figure-1 motivation) to quantify how
+much replication reduces the probability of a missed alert.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from random import Random
+
+__all__ = ["CrashSchedule", "random_crash_schedule"]
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """Closed intervals [start, end] during which the node is down."""
+
+    windows: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        previous_end = None
+        for start, end in self.windows:
+            if end < start:
+                raise ValueError(f"crash window end {end} before start {start}")
+            if previous_end is not None and start < previous_end:
+                raise ValueError("crash windows must be sorted and disjoint")
+            previous_end = end
+
+    @classmethod
+    def never(cls) -> "CrashSchedule":
+        return cls(())
+
+    @classmethod
+    def from_windows(cls, windows: Iterable[Sequence[float]]) -> "CrashSchedule":
+        normalised = tuple(sorted((float(s), float(e)) for s, e in windows))
+        return cls(normalised)
+
+    def is_up(self, time: float) -> bool:
+        """True iff the node is operational at simulated ``time``."""
+        for start, end in self.windows:
+            if start <= time <= end:
+                return False
+            if start > time:
+                break
+        return True
+
+    @property
+    def total_downtime(self) -> float:
+        return sum(end - start for start, end in self.windows)
+
+    def next_up_time(self, time: float, epsilon: float = 1e-6) -> float:
+        """Earliest instant at or after ``time`` when the node is up.
+
+        Returns ``time`` itself if the node is already up.  Windows are
+        closed, so recovery is modelled at ``end + epsilon``.  Chains
+        across adjacent windows.
+        """
+        current = time
+        for start, end in self.windows:
+            if start <= current <= end:
+                current = end + epsilon
+            elif start > current:
+                break
+        return current
+
+
+def random_crash_schedule(
+    rng: Random,
+    horizon: float,
+    crash_rate: float,
+    mean_repair: float,
+) -> CrashSchedule:
+    """Alternating up/down renewal process over [0, horizon].
+
+    Up periods are exponential with rate ``crash_rate`` (mean
+    ``1/crash_rate``); down periods are exponential with mean
+    ``mean_repair``.  ``crash_rate = 0`` yields an always-up schedule.
+    """
+    if crash_rate < 0 or mean_repair < 0:
+        raise ValueError("crash_rate and mean_repair must be non-negative")
+    if crash_rate == 0:
+        return CrashSchedule.never()
+    windows: list[tuple[float, float]] = []
+    time = 0.0
+    while time < horizon:
+        time += rng.expovariate(crash_rate)
+        if time >= horizon:
+            break
+        down_for = rng.expovariate(1.0 / mean_repair) if mean_repair > 0 else 0.0
+        end = min(time + down_for, horizon)
+        windows.append((time, end))
+        time = end
+    return CrashSchedule(tuple(windows))

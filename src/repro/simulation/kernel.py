@@ -1,0 +1,121 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper's properties are *timing dependent*: the AD merge function M
+depends on how the alert streams interleave (Appendix B).  To both explore
+that timing space and replay any interesting run exactly, all components
+execute on this kernel: a priority queue of timestamped events with a
+deterministic total order — events fire in (time, insertion-sequence)
+order, so identical seeds always produce identical runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "Kernel", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, runaway runs)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    note: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (it stays in the queue inert)."""
+        self.cancelled = True
+
+
+class Kernel:
+    """Event queue and simulated clock.
+
+    Usage::
+
+        kernel = Kernel()
+        kernel.schedule(1.5, lambda: print("fired"), note="demo")
+        kernel.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, action: Callable[[], None], note: str = "") -> Event:
+        """Schedule ``action`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, action, note)
+
+    def schedule_at(self, time: float, action: Callable[[], None], note: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = Event(time, next(self._counter), action, note)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> None:
+        """Drain the queue, optionally stopping at simulated time ``until``.
+
+        ``max_events`` guards against runaway event loops (e.g. a component
+        rescheduling itself unconditionally): exceeding it raises
+        SimulationError instead of hanging.
+        """
+        executed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                break
+            if executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+            self.step()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until

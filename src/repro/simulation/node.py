@@ -1,0 +1,30 @@
+"""Simulated node base class.
+
+Nodes are the active entities of a monitoring system — Data Monitors,
+Condition Evaluators, Alert Displayers.  A node is bound to a kernel,
+receives messages via :meth:`receive` (links call this), and can schedule
+its own activity.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.simulation.kernel import Kernel
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A named participant in the simulation."""
+
+    def __init__(self, kernel: Kernel, name: str) -> None:
+        self.kernel = kernel
+        self.name = name
+
+    def receive(self, message: Any) -> None:
+        """Handle a message delivered by a link.  Subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

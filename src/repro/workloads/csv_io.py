@@ -1,0 +1,89 @@
+"""Workload import/export as CSV.
+
+Real deployments have real sensor logs.  This module reads and writes
+the library's workload mapping (``{var: [(time, value), ...]}``) as plain
+CSV with a ``time,variable,value`` header, so recorded traces can be
+replayed through the simulator and simulated workloads can be inspected
+in a spreadsheet.
+
+Rows may arrive grouped by variable or fully interleaved; loading sorts
+each variable's readings by time and validates monotonicity, mirroring
+the DataMonitor's own requirements.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping, Sequence
+
+__all__ = ["workload_to_csv", "workload_from_csv", "save_workload", "load_workload"]
+
+Workload = dict[str, list[tuple[float, float]]]
+
+_HEADER = ("time", "variable", "value")
+
+
+def workload_to_csv(workload: Mapping[str, Sequence[tuple[float, float]]]) -> str:
+    """Render a workload as CSV text (rows sorted by time then variable)."""
+    rows = []
+    for var, readings in workload.items():
+        for time, value in readings:
+            rows.append((float(time), str(var), float(value)))
+    rows.sort(key=lambda row: (row[0], row[1]))
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_HEADER)
+    for time, var, value in rows:
+        writer.writerow([f"{time:g}", var, f"{value:g}"])
+    return buffer.getvalue()
+
+
+def workload_from_csv(text: str) -> Workload:
+    """Parse CSV text into a workload mapping.
+
+    Raises ValueError on a missing/incorrect header, malformed rows, or
+    non-monotone per-variable timestamps.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV: expected a time,variable,value header")
+    if tuple(h.strip().lower() for h in header) != _HEADER:
+        raise ValueError(
+            f"unexpected header {header!r}; expected {','.join(_HEADER)}"
+        )
+    workload: Workload = {}
+    for line_number, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != 3:
+            raise ValueError(f"line {line_number}: expected 3 columns, got {len(row)}")
+        time_text, var, value_text = (cell.strip() for cell in row)
+        if not var:
+            raise ValueError(f"line {line_number}: empty variable name")
+        try:
+            time = float(time_text)
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: non-numeric time/value "
+                f"({time_text!r}, {value_text!r})"
+            ) from None
+        workload.setdefault(var, []).append((time, value))
+    for var, readings in workload.items():
+        readings.sort(key=lambda pair: pair[0])
+    return workload
+
+
+def save_workload(
+    workload: Mapping[str, Sequence[tuple[float, float]]], path: str
+) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(workload_to_csv(workload))
+
+
+def load_workload(path: str) -> Workload:
+    with open(path, newline="") as handle:
+        return workload_from_csv(handle.read())

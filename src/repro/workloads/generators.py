@@ -1,0 +1,189 @@
+"""Workload value-process generators.
+
+A workload is a per-variable schedule of ``(time, value)`` readings for
+the Data Monitors.  The generators here produce the value dynamics the
+paper's examples describe — reactor temperatures around a 3000-degree
+limit, stock quotes with sharp drops — tuned so the canonical conditions
+(c1, c2/c3, cm, sharp_price_drop) trigger often enough that randomized
+trials meaningfully exercise the AD algorithms.
+
+All generators draw from an explicitly passed ``random.Random`` so that
+workloads are reproducible from a run seed.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+__all__ = [
+    "evenly_spaced",
+    "reactor_temperatures",
+    "threshold_crossers",
+    "event_impulses",
+    "rising_runs",
+    "stock_quotes",
+    "paired_reactors",
+]
+
+Readings = list[tuple[float, float]]
+
+
+def evenly_spaced(values: list[float], interval: float = 10.0, start: float = 0.0) -> Readings:
+    """Attach evenly spaced timestamps to a list of values."""
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    return [(start + i * interval, v) for i, v in enumerate(values)]
+
+
+def reactor_temperatures(
+    rng: Random,
+    n: int,
+    start: float = 2900.0,
+    drift_low: float = -260.0,
+    drift_high: float = 320.0,
+    floor: float = 2300.0,
+    ceiling: float = 3700.0,
+    interval: float = 10.0,
+) -> Readings:
+    """A reactor temperature random walk around the 3000-degree limit.
+
+    Steps are uniform in [drift_low, drift_high] and clamped to
+    [floor, ceiling].  With the defaults the walk crosses 3000 regularly
+    (exercising c1) and makes >200-degree jumps often (exercising c2/c3).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    values: list[float] = []
+    current = start
+    for _ in range(n):
+        current = min(max(current + rng.uniform(drift_low, drift_high), floor), ceiling)
+        values.append(round(current, 1))
+    return evenly_spaced(values, interval)
+
+
+def threshold_crossers(
+    rng: Random,
+    n: int,
+    threshold: float = 3000.0,
+    margin: float = 150.0,
+    above_prob: float = 0.5,
+    interval: float = 10.0,
+) -> Readings:
+    """Values that independently land above/below a threshold each step.
+
+    Maximises state flips for non-historical conditions like c1: each
+    reading is above the threshold with probability ``above_prob``.
+    """
+    values = []
+    for _ in range(n):
+        if rng.random() < above_prob:
+            values.append(round(threshold + rng.uniform(1.0, margin), 1))
+        else:
+            values.append(round(threshold - rng.uniform(1.0, margin), 1))
+    return evenly_spaced(values, interval)
+
+
+def rising_runs(
+    rng: Random,
+    n: int,
+    base: float = 1000.0,
+    rise: float = 250.0,
+    run_prob: float = 0.5,
+    reset_prob: float = 0.3,
+    interval: float = 10.0,
+) -> Readings:
+    """Staircase dynamics for delta conditions (c2/c3).
+
+    Each step either climbs by about ``rise`` (making the +200 condition
+    true), plateaus, or resets downwards — so histories with and without
+    gaps both hit the trigger region frequently.
+    """
+    values = []
+    current = base
+    for _ in range(n):
+        roll = rng.random()
+        if roll < run_prob:
+            current += rise * rng.uniform(0.85, 1.4)
+        elif roll < run_prob + reset_prob:
+            current -= rise * rng.uniform(1.0, 3.0)
+        else:
+            current += rng.uniform(-40.0, 40.0)
+        values.append(round(current, 1))
+    return evenly_spaced(values, interval)
+
+
+def stock_quotes(
+    rng: Random,
+    n: int,
+    start: float = 100.0,
+    volatility: float = 0.05,
+    crash_prob: float = 0.12,
+    crash_size: float = 0.35,
+    interval: float = 10.0,
+) -> Readings:
+    """Multiplicative stock-quote dynamics with occasional sharp drops.
+
+    Most steps move by ±``volatility``; with probability ``crash_prob``
+    the quote collapses by about ``crash_size`` — the ">20% drop between
+    consecutive quotes" events of the introduction's example.
+    """
+    values = []
+    price = start
+    for _ in range(n):
+        if rng.random() < crash_prob:
+            price *= 1.0 - crash_size * rng.uniform(0.7, 1.3)
+        else:
+            price *= 1.0 + rng.uniform(-volatility, volatility)
+        price = max(price, 1.0)
+        values.append(round(price, 2))
+    return evenly_spaced(values, interval)
+
+
+def event_impulses(
+    rng: Random,
+    n: int,
+    event_prob: float = 0.15,
+    interval: float = 10.0,
+) -> Readings:
+    """Binary event stream: the introduction's missile-detection example.
+
+    Each reading is 1.0 ("missile fired" detected by the satellite) with
+    probability ``event_prob`` and 0.0 otherwise.  Pair with the
+    non-historical condition ``H.x[0].value == 1`` — every event produces
+    one alert per CE, which is exactly the duplicate-flood AD-1 exists to
+    suppress ("the user will get confused about the exact number of
+    missiles fired").
+    """
+    if not 0.0 <= event_prob <= 1.0:
+        raise ValueError(f"event_prob must be in [0,1], got {event_prob}")
+    values = [1.0 if rng.random() < event_prob else 0.0 for _ in range(n)]
+    return evenly_spaced(values, interval)
+
+
+def paired_reactors(
+    rng: Random,
+    n: int,
+    base: float = 1000.0,
+    sway: float = 90.0,
+    divergence_prob: float = 0.35,
+    divergence: float = 160.0,
+    interval: float = 10.0,
+    phase: float = 0.0,
+) -> Readings:
+    """One reactor of a correlated pair (Theorem 10's two-reactor setup).
+
+    Values wander near ``base``; with probability ``divergence_prob`` a
+    reading diverges by about ``divergence`` — pushing |x − y| past the
+    100-degree gap of condition cm.  Generate each variable with its own
+    rng stream and a different ``phase`` offset.
+    """
+    values = []
+    current = base + phase
+    for _ in range(n):
+        current += rng.uniform(-sway, sway)
+        if rng.random() < divergence_prob:
+            current += rng.choice([-1.0, 1.0]) * divergence * rng.uniform(0.8, 1.5)
+        # Mean-revert gently so the pair stays comparable.
+        current += (base + phase - current) * 0.25
+        values.append(round(current, 1))
+    return evenly_spaced(values, interval)

@@ -1,0 +1,217 @@
+"""The scenario matrix of the paper's tables.
+
+Tables 1–3 classify systems along two axes: front links lossless or lossy,
+and the condition non-historical / historical-conservative /
+historical-aggressive.  A :class:`Scenario` bundles one row of that
+matrix — a condition factory, a workload factory and a front-link loss
+probability — so the table benchmarks can iterate
+``for row in ROW_ORDER: for algorithm in ...: run trials``.
+
+Single-variable rows use the paper's own conditions (c1, c2, c3); the
+multi-variable rows of Table 3 use cm (Theorem 10) for the non-historical
+cases and a two-variable delta condition, aggressive or conservative in
+x, for the historical ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.components.system import RunResult, SystemConfig, run_system
+from repro.core.condition import Condition, ExpressionCondition, c1, c2, c3, cm
+from repro.core.expressions import H
+from repro.simulation.failures import CrashSchedule
+from repro.simulation.network import DelayModel, PerLinkSkewDelay
+from repro.simulation.rng import RandomStreams
+from repro.workloads.generators import (
+    paired_reactors,
+    rising_runs,
+    threshold_crossers,
+)
+
+__all__ = [
+    "Scenario",
+    "ROW_ORDER",
+    "SINGLE_VARIABLE_SCENARIOS",
+    "MULTI_VARIABLE_SCENARIOS",
+    "cm_historical",
+    "run_scenario",
+]
+
+#: Row order of Tables 1-3.
+ROW_ORDER = ("lossless", "non-historical", "conservative", "aggressive")
+
+#: Loss probability used for the lossy rows (matches nothing in the paper,
+#: which is parameter-free; chosen so CE inputs diverge in most trials).
+DEFAULT_LOSS = 0.3
+
+Workload = dict[str, list[tuple[float, float]]]
+WorkloadFactory = Callable[[RandomStreams, int], Workload]
+ConditionFactory = Callable[[], Condition]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One row of the table matrix."""
+
+    key: str
+    label: str
+    multi_variable: bool
+    front_loss: float
+    condition_factory: ConditionFactory
+    workload_factory: WorkloadFactory
+    #: Optional per-run front-link delay model factory.  Multi-variable
+    #: scenarios use PerLinkSkewDelay so different CEs observe genuinely
+    #: different x/y interleavings (Theorem 10 / Lemma 6); a factory
+    #: because the skew model keeps per-link state and must be fresh per
+    #: run.  None = the SystemConfig default.
+    front_delay_factory: Callable[[], "DelayModel"] | None = None
+
+    def make_condition(self) -> Condition:
+        return self.condition_factory()
+
+    def make_workload(self, streams: RandomStreams, n_updates: int) -> Workload:
+        return self.workload_factory(streams, n_updates)
+
+
+def cm_historical(conservative: bool) -> ExpressionCondition:
+    """A two-variable condition, historical (degree 2) in x.
+
+    "x has risen more than 120 since the last x reading received AND the
+    two reactors differ by more than 80 degrees."  The conservative
+    variant additionally requires the two x readings to be consecutive —
+    the c3-style guard.
+    """
+    expr = (H.x[0].value - H.x[-1].value > 120.0) & (
+        abs(H.x[0].value - H.y[0].value) > 80.0
+    )
+    if conservative:
+        expr = expr & (H.x[0].seqno == H.x[-1].seqno + 1)
+        return ExpressionCondition("cm_cons", expr, conservative=True)
+    return ExpressionCondition("cm_aggr", expr, conservative=False)
+
+
+# -- workload factories ------------------------------------------------------
+
+def _single_threshold(streams: RandomStreams, n: int) -> Workload:
+    return {"x": threshold_crossers(streams.stream("workload/x"), n)}
+
+
+def _single_rising(streams: RandomStreams, n: int) -> Workload:
+    return {"x": rising_runs(streams.stream("workload/x"), n)}
+
+
+def _paired(streams: RandomStreams, n: int) -> Workload:
+    return {
+        "x": paired_reactors(streams.stream("workload/x"), n, phase=0.0),
+        "y": paired_reactors(streams.stream("workload/y"), n, phase=40.0),
+    }
+
+
+def _rising_plus_partner(streams: RandomStreams, n: int) -> Workload:
+    return {
+        "x": rising_runs(streams.stream("workload/x"), n, rise=170.0),
+        "y": paired_reactors(streams.stream("workload/y"), n, base=1100.0),
+    }
+
+
+SINGLE_VARIABLE_SCENARIOS: Mapping[str, Scenario] = {
+    "lossless": Scenario(
+        key="lossless",
+        label="Lossless links (any condition)",
+        multi_variable=False,
+        front_loss=0.0,
+        condition_factory=lambda: c2(),
+        workload_factory=_single_rising,
+    ),
+    "non-historical": Scenario(
+        key="non-historical",
+        label="Lossy, non-historical condition (c1)",
+        multi_variable=False,
+        front_loss=DEFAULT_LOSS,
+        condition_factory=lambda: c1(),
+        workload_factory=_single_threshold,
+    ),
+    "conservative": Scenario(
+        key="conservative",
+        label="Lossy, historical conservative (c3)",
+        multi_variable=False,
+        front_loss=DEFAULT_LOSS,
+        condition_factory=lambda: c3(),
+        workload_factory=_single_rising,
+    ),
+    "aggressive": Scenario(
+        key="aggressive",
+        label="Lossy, historical aggressive (c2)",
+        multi_variable=False,
+        front_loss=DEFAULT_LOSS,
+        condition_factory=lambda: c2(),
+        workload_factory=_single_rising,
+    ),
+}
+
+
+MULTI_VARIABLE_SCENARIOS: Mapping[str, Scenario] = {
+    "lossless": Scenario(
+        key="lossless",
+        label="Lossless links, two variables (cm)",
+        multi_variable=True,
+        front_loss=0.0,
+        condition_factory=lambda: cm(),
+        workload_factory=_paired,
+        front_delay_factory=PerLinkSkewDelay,
+    ),
+    "non-historical": Scenario(
+        key="non-historical",
+        label="Lossy, non-historical two-variable (cm)",
+        multi_variable=True,
+        front_loss=DEFAULT_LOSS,
+        condition_factory=lambda: cm(),
+        workload_factory=_paired,
+        front_delay_factory=PerLinkSkewDelay,
+    ),
+    "conservative": Scenario(
+        key="conservative",
+        label="Lossy, historical conservative two-variable",
+        multi_variable=True,
+        front_loss=DEFAULT_LOSS,
+        condition_factory=lambda: cm_historical(conservative=True),
+        workload_factory=_rising_plus_partner,
+        front_delay_factory=PerLinkSkewDelay,
+    ),
+    "aggressive": Scenario(
+        key="aggressive",
+        label="Lossy, historical aggressive two-variable",
+        multi_variable=True,
+        front_loss=DEFAULT_LOSS,
+        condition_factory=lambda: cm_historical(conservative=False),
+        workload_factory=_rising_plus_partner,
+        front_delay_factory=PerLinkSkewDelay,
+    ),
+}
+
+
+def run_scenario(
+    scenario: Scenario,
+    ad_algorithm: str,
+    seed: int,
+    n_updates: int = 30,
+    replication: int = 2,
+    crash_schedules: Mapping[int, CrashSchedule] | None = None,
+) -> RunResult:
+    """Run one randomized trial of a scenario under an AD algorithm."""
+    streams = RandomStreams(seed)
+    condition = scenario.make_condition()
+    workload = scenario.make_workload(streams, n_updates)
+    config_kwargs = {}
+    if scenario.front_delay_factory is not None:
+        config_kwargs["front_delay"] = scenario.front_delay_factory()
+    config = SystemConfig(
+        replication=replication,
+        ad_algorithm=ad_algorithm,
+        front_loss=scenario.front_loss,
+        crash_schedules=dict(crash_schedules or {}),
+        **config_kwargs,
+    )
+    return run_system(condition, workload, config, seed=seed)

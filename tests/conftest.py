@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alert import Alert, make_alert
+from repro.core.condition import c1, c2, c3, cm
+from repro.core.update import Update, parse_trace
+
+
+def u(text: str) -> Update:
+    """Parse one update in paper shorthand: u("7x(3000)")."""
+    return parse_trace(text)[0]
+
+
+def trace(text: str) -> list[Update]:
+    """Parse a whole trace: trace("1x(2900), 2x(3100)")."""
+    return parse_trace(text)
+
+
+def alert_deg1(seqno: int, value: float = 0.0, var: str = "x", cond: str = "c") -> Alert:
+    """A degree-1 alert triggered on update ``seqno``."""
+    return make_alert(cond, {var: [Update(var, seqno, value)]})
+
+
+def alert_deg2(head: int, prev: int, var: str = "x", cond: str = "c") -> Alert:
+    """A degree-2 alert with history ⟨head, prev⟩ (most recent first)."""
+    return make_alert(cond, {var: [Update(var, head, 0.0), Update(var, prev, 0.0)]})
+
+
+def alert_xy(x_seqno: int, y_seqno: int, cond: str = "cm") -> Alert:
+    """A two-variable degree-1 alert a(ix, jy)."""
+    return make_alert(
+        cond,
+        {"x": [Update("x", x_seqno, 0.0)], "y": [Update("y", y_seqno, 0.0)]},
+    )
+
+
+@pytest.fixture
+def cond_c1():
+    return c1()
+
+
+@pytest.fixture
+def cond_c2():
+    return c2()
+
+
+@pytest.fixture
+def cond_c3():
+    return c3()
+
+
+@pytest.fixture
+def cond_cm():
+    return cm()

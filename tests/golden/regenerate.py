@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate tests/golden/runs.json after an *intentional* behaviour change.
+
+Review the diff before committing: every changed entry is a behavioural
+difference some user could observe.
+"""
+
+import json
+import pathlib
+
+from repro.workloads.scenarios import (
+    MULTI_VARIABLE_SCENARIOS,
+    SINGLE_VARIABLE_SCENARIOS,
+    run_scenario,
+)
+
+OUTPUT = pathlib.Path(__file__).parent / "runs.json"
+
+
+def main() -> None:
+    golden = {}
+    matrices = (
+        ("single", SINGLE_VARIABLE_SCENARIOS, ["AD-1", "AD-2", "AD-3", "AD-4"]),
+        ("multi", MULTI_VARIABLE_SCENARIOS, ["AD-1", "AD-5", "AD-6"]),
+    )
+    for matrix_name, matrix, algorithms in matrices:
+        for row in matrix:
+            for algorithm in algorithms:
+                for seed in (1, 2):
+                    run = run_scenario(matrix[row], algorithm, seed, n_updates=15)
+                    key = f"{matrix_name}/{row}/{algorithm}/seed{seed}"
+                    golden[key] = {
+                        "received": [
+                            [u.shorthand() for u in trace] for trace in run.received
+                        ],
+                        "displayed": [a.shorthand() for a in run.displayed],
+                        "properties": dict(run.evaluate_properties().summary),
+                    }
+    with open(OUTPUT, "w") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+    print(f"wrote {len(golden)} entries to {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline facts it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "alerts displayed to the user" in out
+    assert "'complete': True" in out
+    assert "'consistent': True" in out
+
+
+def test_reactor_monitoring():
+    out = run_example("reactor_monitoring.py")
+    assert "aggressive triggering (c2)" in out
+    assert "consistent=False" in out       # Theorem 4 witnessed
+    assert "conservative triggering (c3)" in out
+    assert "Algorithm AD-3" in out
+    # The AD-3 section must report consistent=True:
+    ad3_section = out.split("AD-3")[1]
+    assert "consistent=True" in ad3_section
+
+
+def test_stock_alerts():
+    out = run_example("stock_alerts.py")
+    assert "TWO sharp drops" in out
+    assert "0/150 inconsistent runs remain under AD-4" in out
+
+
+def test_multi_reactor():
+    out = run_example("multi_reactor.py")
+    assert "Theorem 10" in out
+    assert "ordered?    False" in out
+    assert "AD-5" in out
+
+
+def test_multi_condition():
+    out = run_example("multi_condition.py")
+    assert "condition A ('x hotter than y') alerted" in out
+    assert "ordered=True" in out
+    assert "union" in out
+
+
+def test_debugging_violations():
+    out = run_example("debugging_violations.py")
+    assert "minimized counterexample" in out
+    assert "consistent violated under AD-1" in out
+    assert "broadcast" in out  # timeline rendered
+
+
+def test_config_driven():
+    out = run_example("config_driven.py")
+    assert "sensor log:" in out
+    assert "condition 'spike': degree 2, aggressive" in out
+    assert "minimized inconsistency witness saved" in out

@@ -1,0 +1,129 @@
+"""Exhaustive-interleaving analysis: the paper's timing-dependent claims
+proved over ALL arrival orders of fixed trace pairs."""
+
+import pytest
+
+from repro.core.condition import c1, c2, c3
+from repro.core.update import parse_trace
+from repro.displayers import AD1, AD2, AD3, AD4, AD5
+from repro.props.exhaustive import (
+    classify_trace_pair,
+    count_merge_orders,
+    iter_merge_orders,
+)
+from repro.workloads.traces import theorem_10_example, theorem_4_example
+
+
+class TestMergeOrders:
+    def test_count_matches_enumeration(self):
+        orders = list(iter_merge_orders([2, 2]))
+        assert len(orders) == count_merge_orders([2, 2]) == 6
+
+    def test_orders_distinct_and_wellformed(self):
+        orders = list(iter_merge_orders([2, 1]))
+        assert len(set(orders)) == 3
+        for order in orders:
+            assert sorted(order) == [0, 0, 1]
+
+    def test_empty_stream(self):
+        assert list(iter_merge_orders([0, 2])) == [(1, 1)]
+
+    def test_three_streams(self):
+        assert count_merge_orders([1, 1, 1]) == 6
+        assert len(list(iter_merge_orders([1, 1, 1]))) == 6
+
+
+class TestExample1AllInterleavings:
+    """Example 1's traces under AD-1, over all 3 interleavings."""
+
+    TRACES = (
+        tuple(parse_trace("1x(2900), 2x(3100), 3x(3200)")),
+        tuple(parse_trace("1x(2900), 3x(3200)")),
+    )
+
+    def test_always_complete_and_consistent(self):
+        report = classify_trace_pair(c1(), self.TRACES, AD1)
+        assert report.complete.verdict == "always"
+        assert report.consistent.verdict == "always"
+
+    def test_orderedness_is_timing_dependent(self):
+        # a3 (CE2's alert on 3x) can arrive before a1 (CE1's on 2x).
+        report = classify_trace_pair(c1(), self.TRACES, AD1)
+        assert report.ordered.verdict == "sometimes"
+        assert report.ordered.violating_witness is not None
+        assert report.ordered.holding_witness is not None
+
+    def test_ad2_forces_orderedness_always(self):
+        report = classify_trace_pair(c1(), self.TRACES, lambda: AD2("x"))
+        assert report.ordered.verdict == "always"
+        # ... and completeness becomes timing dependent (Example 2's trade).
+        assert report.complete.verdict == "sometimes"
+
+
+class TestTheorem4AllInterleavings:
+    """The aggressive counterexample is inconsistent in EVERY order."""
+
+    def test_never_consistent_under_ad1(self):
+        ex = theorem_4_example()
+        report = classify_trace_pair(c2(), ex.traces, AD1)
+        assert report.consistent.verdict == "never"
+
+    def test_ad3_always_consistent(self):
+        ex = theorem_4_example()
+        report = classify_trace_pair(c2(), ex.traces, lambda: AD3("x"))
+        assert report.consistent.verdict == "always"
+
+    def test_ad4_always_both(self):
+        ex = theorem_4_example()
+        report = classify_trace_pair(c2(), ex.traces, lambda: AD4("x"))
+        assert report.consistent.verdict == "always"
+        assert report.ordered.verdict == "always"
+
+
+class TestTheorem3AllInterleavings:
+    def test_conservative_always_consistent_never_complete(self):
+        traces = (
+            tuple(parse_trace("1x(1000), 2x(1500)")),
+            tuple(parse_trace("3x(2000), 4x(2500)")),
+        )
+        report = classify_trace_pair(c3(), traces, AD1)
+        assert report.consistent.verdict == "always"
+        assert report.complete.verdict == "never"
+        assert report.ordered.verdict == "sometimes"
+
+
+class TestTheorem10AllInterleavings:
+    def test_ad1_never_ordered_never_consistent(self):
+        ex = theorem_10_example()
+        report = classify_trace_pair(ex.condition, ex.traces, AD1)
+        # Both CE streams have one alert each -> 2 interleavings, both bad.
+        assert report.interleavings == 2
+        assert report.ordered.verdict == "never"
+        assert report.consistent.verdict == "never"
+
+    def test_ad5_always_ordered_and_consistent(self):
+        ex = theorem_10_example()
+        report = classify_trace_pair(
+            ex.condition, ex.traces, lambda: AD5(("x", "y"))
+        )
+        assert report.ordered.verdict == "always"
+        assert report.consistent.verdict == "always"
+
+
+class TestGuardrails:
+    def test_limit_enforced(self):
+        traces = (
+            tuple(parse_trace(", ".join(f"{i}x(3100)" for i in range(1, 15)))),
+            tuple(parse_trace(", ".join(f"{i}x(3100)" for i in range(1, 15)))),
+        )
+        with pytest.raises(RuntimeError):
+            classify_trace_pair(c1(), traces, AD1, limit=10)
+
+    def test_lossless_identical_traces_always_everything(self):
+        # Theorem 1 on a concrete instance, across all interleavings.
+        trace = tuple(parse_trace("1x(3100), 2x(3200), 3x(3300)"))
+        report = classify_trace_pair(c1(), (trace, trace), AD1)
+        assert report.ordered.verdict == "always"
+        assert report.complete.verdict == "always"
+        assert report.consistent.verdict == "always"
+        assert report.interleavings == 20

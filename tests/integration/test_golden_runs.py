@@ -1,0 +1,63 @@
+"""Golden-run regression tests.
+
+``tests/golden/runs.json`` pins the exact displayed alert sequences (and
+per-CE received traces, and property verdicts) of 56 deterministic runs
+across every scenario row and AD algorithm.  Any behavioural drift —
+in the RNG stream derivation, link models, evaluator, AD algorithms or
+property checkers — shows up here as a precise diff, not a flaky
+statistic.
+
+If a change is *intentional* (e.g. a new randomness consumer), regenerate
+with ``python tests/golden/regenerate.py`` and review the diff.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.workloads.scenarios import (
+    MULTI_VARIABLE_SCENARIOS,
+    SINGLE_VARIABLE_SCENARIOS,
+    run_scenario,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).resolve().parents[1] / "golden" / "runs.json"
+
+
+def load_golden() -> dict:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+GOLDEN = load_golden()
+
+
+def replay(key: str):
+    matrix_name, row, algorithm, seed_text = key.split("/")
+    matrix = (
+        SINGLE_VARIABLE_SCENARIOS if matrix_name == "single" else MULTI_VARIABLE_SCENARIOS
+    )
+    seed = int(seed_text.removeprefix("seed"))
+    return run_scenario(matrix[row], algorithm, seed, n_updates=15)
+
+
+class TestGoldenRuns:
+    def test_fixture_coverage(self):
+        assert len(GOLDEN) == 56
+        rows = {key.split("/")[1] for key in GOLDEN}
+        assert rows == {"lossless", "non-historical", "conservative", "aggressive"}
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN))
+    def test_run_matches_golden(self, key):
+        expected = GOLDEN[key]
+        run = replay(key)
+        assert [
+            [u.shorthand() for u in trace] for trace in run.received
+        ] == expected["received"], f"{key}: received traces drifted"
+        assert [a.shorthand() for a in run.displayed] == expected["displayed"], (
+            f"{key}: displayed sequence drifted"
+        )
+        assert run.evaluate_properties().summary == expected["properties"], (
+            f"{key}: property verdicts drifted"
+        )

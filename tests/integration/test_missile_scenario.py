@@ -1,0 +1,74 @@
+"""The introduction's missile-warning scenario, end to end.
+
+"if an alert is to be sent whenever a missile is fired, having two CEs
+will likely result in two alerts being sent to the user for every missile
+fired.  Without a mechanism to identify duplicates, the user will get
+confused about the exact number of missiles fired."
+"""
+
+import random
+
+from repro.components.system import SystemConfig, run_system
+from repro.core.condition import ExpressionCondition
+from repro.core.expressions import H
+from repro.displayers.registry import PassThrough
+from repro.workloads.generators import event_impulses
+
+
+def missile_condition():
+    return ExpressionCondition("missile_fired", H.sat[0].value == 1)
+
+
+def missile_workload(seed: int, n: int = 40):
+    return {"sat": event_impulses(random.Random(seed), n, event_prob=0.2)}
+
+
+class TestMissileScenario:
+    def test_without_dedup_user_sees_double(self):
+        workload = missile_workload(3)
+        fired = sum(1 for _, v in workload["sat"] if v == 1.0)
+        config = SystemConfig(replication=2, front_loss=0.0, ad_algorithm="pass")
+        run = run_system(missile_condition(), workload, config, seed=3)
+        # Two CEs, lossless: every missile produces exactly two alerts.
+        assert len(run.displayed) == 2 * fired
+
+    def test_ad1_restores_the_true_count(self):
+        workload = missile_workload(3)
+        fired = sum(1 for _, v in workload["sat"] if v == 1.0)
+        config = SystemConfig(replication=2, front_loss=0.0, ad_algorithm="AD-1")
+        run = run_system(missile_condition(), workload, config, seed=3)
+        assert len(run.displayed) == fired
+
+    def test_replication_catches_missiles_single_ce_misses(self):
+        # At heavy loss, one CE alone misses events; two CEs together
+        # deliver strictly more of them over many seeds.
+        total_single = 0
+        total_double = 0
+        for seed in range(20):
+            workload = missile_workload(100 + seed)
+            for replication, bucket in ((1, "single"), (2, "double")):
+                config = SystemConfig(
+                    replication=replication, front_loss=0.4,
+                    ad_algorithm="AD-1",
+                )
+                run = run_system(
+                    missile_condition(), workload, config, seed=seed
+                )
+                count = len({a.seqno("sat") for a in run.displayed})
+                if bucket == "single":
+                    total_single += count
+                else:
+                    total_double += count
+        assert total_double > total_single
+
+    def test_event_count_never_inflated_under_ad1(self):
+        # AD-1 may still miss events (loss) but never duplicates one:
+        # the displayed count is a lower bound on the truth, never above.
+        for seed in range(15):
+            workload = missile_workload(200 + seed)
+            fired = sum(1 for _, v in workload["sat"] if v == 1.0)
+            config = SystemConfig(
+                replication=3, front_loss=0.3, ad_algorithm="AD-1"
+            )
+            run = run_system(missile_condition(), workload, config, seed=seed)
+            assert len(run.displayed) <= fired

@@ -1,0 +1,172 @@
+"""Mutant algorithms: the property harness must catch every broken AD.
+
+Mutation-style validation of the *checkers*: each class below breaks one
+load-bearing line of an algorithm (the kind of bug a reimplementation
+could plausibly introduce), and the test asserts our property machinery
+detects the breakage — randomized sweeps for realistic streams, the
+bounded-exhaustive verifier for proof-grade detection.  If a mutant ever
+survives, the harness (not the algorithm) has a hole.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    consistency_property,
+    strict_orderedness_property,
+)
+from repro.core.alert import Alert
+from repro.core.sequences import spanning_set
+from repro.displayers.ad2 import AD2
+from repro.displayers.ad3 import AD3
+from repro.displayers.ad5 import AD5
+from repro.props.statespace import (
+    degree2_alphabet,
+    two_variable_alphabet,
+    verify_invariant_exhaustively,
+)
+from repro.props.orderedness import is_alert_sequence_ordered
+
+
+class AD2NonStrict(AD2):
+    """Mutant: uses `<` instead of `<=` — lets duplicate seqnos through."""
+
+    name = "AD-2-mutant-nonstrict"
+
+    def _accept(self, alert: Alert) -> bool:
+        return alert.seqno(self.varname) >= self._last  # BUG: >= not >
+
+
+class AD2ForgetsState(AD2):
+    """Mutant: never advances `last` — everything passes."""
+
+    name = "AD-2-mutant-stateless"
+
+    def _record(self, alert: Alert) -> None:
+        pass  # BUG: last never updated
+
+
+class AD3NoGapTracking(AD3):
+    """Mutant: records Received but forgets to record Missed."""
+
+    name = "AD-3-mutant-nogaps"
+
+    def _record(self, alert: Alert) -> None:
+        self._seen.add(alert.identity())
+        history = set(alert.histories.seqnos(self.varname))
+        self._tracker.received |= history  # BUG: missed set never grows
+
+
+class AD3NoReceivedCheck(AD3):
+    """Mutant: skips the gaps-vs-Received half of Conflicts()."""
+
+    name = "AD-3-mutant-halfcheck"
+
+    def _accept(self, alert: Alert) -> bool:
+        if alert.identity() in self._seen:
+            return False
+        history = set(alert.histories.seqnos(self.varname))
+        # BUG: only checks history∩Missed, not gaps∩Received.
+        return not (history & self._tracker.missed)
+
+
+class AD5OneVariableOnly(AD5):
+    """Mutant: enforces monotonicity in the first variable only."""
+
+    name = "AD-5-mutant-onevar"
+
+    def _accept(self, alert: Alert) -> bool:
+        first = self.varnames[0]
+        return alert.seqno(first) >= self._last[first]  # BUG: ignores y
+
+
+class TestMutantsCaughtExhaustively:
+    """The bounded-exhaustive verifier must find a violating stream for
+    every mutant (and, per test_statespace_verification, none for the
+    real algorithms)."""
+
+    ALPHABET = degree2_alphabet(max_seqno=4)
+
+    def test_ad2_nonstrict_caught(self):
+        result = verify_invariant_exhaustively(
+            lambda: AD2NonStrict("x"),
+            self.ALPHABET,
+            max_length=2,
+            invariant=strict_orderedness_property("x"),
+        )
+        assert not result.holds
+
+    def test_ad2_stateless_caught(self):
+        result = verify_invariant_exhaustively(
+            lambda: AD2ForgetsState("x"),
+            self.ALPHABET,
+            max_length=2,
+            invariant=strict_orderedness_property("x"),
+        )
+        assert not result.holds
+
+    def test_ad3_nogaps_caught(self):
+        result = verify_invariant_exhaustively(
+            lambda: AD3NoGapTracking("x"),
+            self.ALPHABET,
+            max_length=2,
+            invariant=consistency_property("x"),
+        )
+        assert not result.holds
+        # And the witness is a genuine Theorem-4-style conflict:
+        a, b = result.violation
+        gaps = spanning_set(a.histories.seqnos("x")) - set(
+            a.histories.seqnos("x")
+        )
+        overlap = gaps & set(b.histories.seqnos("x"))
+        reverse = (
+            spanning_set(b.histories.seqnos("x"))
+            - set(b.histories.seqnos("x"))
+        ) & set(a.histories.seqnos("x"))
+        assert overlap or reverse
+
+    def test_ad3_halfcheck_caught(self):
+        result = verify_invariant_exhaustively(
+            lambda: AD3NoReceivedCheck("x"),
+            self.ALPHABET,
+            max_length=2,
+            invariant=consistency_property("x"),
+        )
+        assert not result.holds
+
+    def test_ad5_onevar_caught(self):
+        result = verify_invariant_exhaustively(
+            lambda: AD5OneVariableOnly(("x", "y")),
+            two_variable_alphabet(max_seqno=3),
+            max_length=2,
+            invariant=lambda d: is_alert_sequence_ordered(list(d), ["x", "y"]),
+        )
+        assert not result.holds
+
+
+class TestMutantsCaughtByRandomizedTables:
+    """The randomized table sweep must also flag mutants — the same
+    machinery that produced the ✓ cells must not produce them for broken
+    implementations."""
+
+    def test_ad3_mutant_fails_consistency_sweep(self):
+        from repro.props.report import PropertyTally
+        from repro.workloads.scenarios import (
+            SINGLE_VARIABLE_SCENARIOS,
+            run_scenario,
+        )
+        from repro.components.system import run_system, SystemConfig
+        from repro.simulation.rng import RandomStreams
+        from repro.workloads.generators import rising_runs
+        from repro.core.condition import c2
+
+        tally = PropertyTally()
+        for seed in range(40):
+            streams = RandomStreams(seed)
+            workload = {"x": rising_runs(streams.stream("w"), 30)}
+            config = SystemConfig(replication=2, front_loss=0.3)
+            run = run_system(
+                c2(), workload, config, seed=seed,
+                algorithm=AD3NoGapTracking("x"),
+            )
+            tally.add(run.evaluate_properties(), seed=seed)
+        assert tally.consistency_violations > 0  # mutant exposed

@@ -1,0 +1,49 @@
+"""Integration test: the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.repro_report import generate_report
+from repro.cli import main
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Small budget: this is the full suite, scaled down.
+        return generate_report(budget=0.08)
+
+    def test_all_sections_present(self, report):
+        names = [s.name for s in report.sections]
+        for expected in (
+            "Property grid: table1",
+            "Property grid: table3",
+            "Property grid: ad1-multi",
+            "Domination (Thm 6, Thm 8)",
+            "Maximality (Thm 5, Thm 7, Thm 9)",
+            "Availability (Figure-1 motivation)",
+        ):
+            assert expected in names
+
+    def test_everything_passes(self, report):
+        failing = [s.name for s in report.sections if not s.passed]
+        assert report.passed, f"failing sections: {failing}"
+
+    def test_markdown_rendering(self, report):
+        text = report.to_markdown()
+        assert text.startswith("# Reproduction report")
+        assert "**PASS**" in text
+        assert text.count("## ") == len(report.sections)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            generate_report(budget=0.0)
+
+
+class TestReportCLI:
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        code = main(["report", "--budget", "0.05", "--output", str(output)])
+        assert code == 0
+        assert output.exists()
+        assert "Reproduction report" in output.read_text()
+        assert "overall: PASS" in capsys.readouterr().out

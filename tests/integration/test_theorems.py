@@ -1,0 +1,173 @@
+"""Integration tests: the paper's theorems verified over randomized runs.
+
+✓-cells are universal claims — a modest randomized sweep must show zero
+violations.  ✗-cells are existential — the sweep must find at least one
+witness (the workloads/delays are tuned so witnesses are common).
+Trial counts here are kept small for test-suite latency; the benchmarks
+run the same experiments at full scale.
+"""
+
+import pytest
+
+from repro.props.report import PropertyTally
+from repro.workloads.scenarios import (
+    MULTI_VARIABLE_SCENARIOS,
+    SINGLE_VARIABLE_SCENARIOS,
+    run_scenario,
+)
+
+TRIALS = 40
+N_UPDATES = 30
+
+
+def tally_for(scenarios, row: str, algorithm: str, trials=TRIALS, n=N_UPDATES,
+              base_seed=55000) -> PropertyTally:
+    tally = PropertyTally()
+    scenario = scenarios[row]
+    for trial in range(trials):
+        run = run_scenario(scenario, algorithm, base_seed + trial, n_updates=n)
+        tally.add(run.evaluate_properties(), seed=base_seed + trial)
+    return tally
+
+
+class TestTheorem1Lossless:
+    """Lossless front links: ordered and complete (hence consistent)."""
+
+    def test_ad1_lossless_all_properties(self):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, "lossless", "AD-1")
+        assert tally.always_ordered
+        assert tally.always_complete
+        assert tally.always_consistent
+
+
+class TestTheorem2NonHistorical:
+    """Lossy + non-historical: complete but not ordered (under AD-1)."""
+
+    def test_complete(self):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, "non-historical", "AD-1")
+        assert tally.always_complete
+        assert tally.always_consistent  # implied by completeness
+
+    def test_not_ordered_witnessed(self):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, "non-historical", "AD-1")
+        assert tally.ordered_violations > 0
+        assert tally.first_unordered_seed is not None
+
+
+class TestTheorem3Conservative:
+    """Lossy + conservative: consistent, not ordered, not complete."""
+
+    def test_consistent(self):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, "conservative", "AD-1")
+        assert tally.always_consistent
+
+    def test_violations_witnessed(self):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, "conservative", "AD-1")
+        assert tally.ordered_violations > 0
+        assert tally.completeness_violations > 0
+
+
+class TestTheorem4Aggressive:
+    """Lossy + aggressive: not even consistent."""
+
+    def test_inconsistency_witnessed(self):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, "aggressive", "AD-1")
+        assert tally.consistency_violations > 0
+
+
+class TestAD2Guarantees:
+    """AD-2 is ordered in ALL scenarios (Table 2), at a completeness cost."""
+
+    @pytest.mark.parametrize(
+        "row", ["lossless", "non-historical", "conservative", "aggressive"]
+    )
+    def test_always_ordered(self, row):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, row, "AD-2")
+        assert tally.always_ordered
+
+    def test_lossless_still_complete(self):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, "lossless", "AD-2")
+        assert tally.always_complete
+
+    def test_non_historical_completeness_lost(self):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, "non-historical", "AD-2")
+        assert tally.completeness_violations > 0
+
+
+class TestAD3Guarantees:
+    """AD-3 is consistent in ALL scenarios (§4.3)."""
+
+    @pytest.mark.parametrize(
+        "row", ["lossless", "non-historical", "conservative", "aggressive"]
+    )
+    def test_always_consistent(self, row):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, row, "AD-3")
+        assert tally.always_consistent
+
+    def test_aggressive_still_unordered(self):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, "aggressive", "AD-3")
+        assert tally.ordered_violations > 0
+
+
+class TestAD4Guarantees:
+    """AD-4 is ordered AND consistent in all scenarios (§4.4)."""
+
+    @pytest.mark.parametrize(
+        "row", ["lossless", "non-historical", "conservative", "aggressive"]
+    )
+    def test_ordered_and_consistent(self, row):
+        tally = tally_for(SINGLE_VARIABLE_SCENARIOS, row, "AD-4")
+        assert tally.always_ordered
+        assert tally.always_consistent
+
+
+class TestTheorem10AD1Multi:
+    """Multi-variable AD-1 guarantees nothing, even lossless."""
+
+    def test_lossless_violations_witnessed(self):
+        tally = tally_for(MULTI_VARIABLE_SCENARIOS, "lossless", "AD-1")
+        assert tally.ordered_violations > 0
+        assert tally.consistency_violations > 0
+
+
+class TestAD5Guarantees:
+    """Lemmas 4-6: AD-5 is ordered; consistent unless aggressive; never
+    complete."""
+
+    @pytest.mark.parametrize(
+        "row", ["lossless", "non-historical", "conservative", "aggressive"]
+    )
+    def test_always_ordered(self, row):
+        tally = tally_for(MULTI_VARIABLE_SCENARIOS, row, "AD-5")
+        assert tally.always_ordered
+
+    @pytest.mark.parametrize("row", ["lossless", "non-historical", "conservative"])
+    def test_consistent_except_aggressive(self, row):
+        tally = tally_for(MULTI_VARIABLE_SCENARIOS, row, "AD-5")
+        assert tally.always_consistent
+
+    def test_aggressive_inconsistency_witnessed(self):
+        tally = tally_for(
+            MULTI_VARIABLE_SCENARIOS, "aggressive", "AD-5", trials=80
+        )
+        assert tally.consistency_violations > 0
+
+    def test_incompleteness_witnessed(self):
+        # Short traces so the exhaustive completeness oracle applies.
+        tally = tally_for(
+            MULTI_VARIABLE_SCENARIOS, "lossless", "AD-5", trials=120, n=6
+        )
+        assert tally.completeness_checked > 0
+        assert tally.completeness_violations > 0
+
+
+class TestAD6Guarantees:
+    """§5.2: AD-6 is ordered and consistent in all multi-variable rows."""
+
+    @pytest.mark.parametrize(
+        "row", ["lossless", "non-historical", "conservative", "aggressive"]
+    )
+    def test_ordered_and_consistent(self, row):
+        tally = tally_for(MULTI_VARIABLE_SCENARIOS, row, "AD-6", trials=60)
+        assert tally.always_ordered
+        assert tally.always_consistent

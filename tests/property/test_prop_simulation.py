@@ -1,0 +1,133 @@
+"""Property-based tests for the simulation substrate and the evaluator.
+
+These check the §2.1 link assumptions and the CE's determinism over
+randomly generated schedules — the invariants every proof in the paper
+silently relies on.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.components.system import SystemConfig, run_system
+from repro.core.condition import c1, c2
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.sequences import is_subsequence
+from repro.core.update import Update
+from repro.simulation.kernel import Kernel
+from repro.simulation.network import LossyFifoLink, ReliableLink, UniformDelay
+
+
+send_schedules = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+).map(sorted)
+
+
+@settings(max_examples=60, deadline=None)
+@given(send_schedules, st.integers(0, 2**31), st.floats(0.0, 0.9))
+def test_lossy_fifo_link_invariants(times, seed, loss):
+    """Delivered ⊆ sent, in send order, regardless of delays/losses."""
+    kernel = Kernel()
+    received: list[int] = []
+    link = LossyFifoLink(
+        kernel,
+        received.append,
+        UniformDelay(0.0, 50.0),
+        random.Random(seed),
+        loss_prob=loss,
+    )
+    for index, time in enumerate(times):
+        kernel.schedule_at(time, lambda i=index: link.send(i))
+    kernel.run()
+    assert received == sorted(set(received))          # in-order, no dups
+    assert set(received) <= set(range(len(times)))    # subset of sent
+    assert link.sent == len(times)
+    assert link.delivered == len(received)
+
+
+@settings(max_examples=60, deadline=None)
+@given(send_schedules, st.integers(0, 2**31))
+def test_reliable_link_invariants(times, seed):
+    """Every message delivered, exactly once, in send order."""
+    kernel = Kernel()
+    received: list[int] = []
+    link = ReliableLink(
+        kernel, received.append, UniformDelay(0.0, 50.0), random.Random(seed)
+    )
+    for index, time in enumerate(times):
+        kernel.schedule_at(time, lambda i=index: link.send(i))
+    kernel.run()
+    assert received == list(range(len(times)))
+
+
+value_traces = st.lists(
+    st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value_traces)
+def test_evaluator_is_deterministic_T(values):
+    """Two fresh evaluators over the same trace emit identical alerts."""
+    updates = [Update("x", i + 1, v) for i, v in enumerate(values)]
+    a1 = ConditionEvaluator(c2()).ingest_all(updates)
+    a2 = ConditionEvaluator(c2()).ingest_all(updates)
+    assert a1 == a2
+
+
+@settings(max_examples=60, deadline=None)
+@given(value_traces)
+def test_evaluator_alert_seqnos_strictly_increase(values):
+    """Πx(T(U)) is strictly increasing: one alert per triggering arrival."""
+    updates = [Update("x", i + 1, v) for i, v in enumerate(values)]
+    alerts = ConditionEvaluator(c2()).ingest_all(updates)
+    seqnos = [a.seqno("x") for a in alerts]
+    assert all(b > a for a, b in zip(seqnos, seqnos[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(value_traces, st.data())
+def test_evaluator_alert_histories_subset_of_input(values, data):
+    """Every alert's history updates were actually received."""
+    updates = [Update("x", i + 1, v) for i, v in enumerate(values)]
+    keep = data.draw(
+        st.lists(st.booleans(), min_size=len(updates), max_size=len(updates))
+    )
+    received = [u for u, k in zip(updates, keep) if k]
+    evaluator = ConditionEvaluator(c2())
+    alerts = evaluator.ingest_all(received)
+    received_set = set(received)
+    for alert in alerts:
+        for update in alert.histories["x"]:
+            assert update in received_set
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31), st.floats(0.0, 0.6))
+def test_end_to_end_received_are_ordered_subsequences(seed, loss):
+    """§3: U_i ⊑ U and each U_i is ordered, for any loss level and seed."""
+    workload = {"x": [(t * 10.0, 3100.0) for t in range(15)]}
+    config = SystemConfig(replication=2, front_loss=loss)
+    run = run_system(c1(), workload, config, seed=seed)
+    sent = list(run.sent["x"])
+    for trace in run.received:
+        assert is_subsequence(list(trace), sent)
+        seqnos = [u.seqno for u in trace]
+        assert seqnos == sorted(seqnos)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31))
+def test_end_to_end_alert_conservation(seed):
+    """Alerts generated == alerts arrived == displayed + filtered."""
+    workload = {"x": [(t * 10.0, 3100.0) for t in range(12)]}
+    config = SystemConfig(replication=2, front_loss=0.3, ad_algorithm="AD-2")
+    run = run_system(c1(), workload, config, seed=seed)
+    generated = sorted(a.identity() for a in run.all_generated)
+    arrived = sorted(a.identity() for a in run.ad_arrivals)
+    assert generated == arrived
+    assert len(run.displayed) + len(run.filtered) == len(run.ad_arrivals)

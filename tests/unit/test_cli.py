@@ -1,0 +1,110 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in (
+            ["tables"],
+            ["scenario", "lossless"],
+            ["shrink", "aggressive"],
+            ["domination"],
+            ["maximality"],
+            ["availability"],
+            ["list"],
+        ):
+            args = parser.parse_args(command)
+            assert callable(args.func)
+
+
+class TestListCommand:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("AD-1", "AD-6", "lossless", "aggressive", "table1", "ad6"):
+            assert name in out
+
+
+class TestScenarioCommand:
+    def test_runs_and_reports(self, capsys):
+        assert main(["scenario", "lossless", "--seed", "3", "--updates", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "properties:" in out
+        assert "CE1 received" in out
+
+    def test_timeline_flag(self, capsys):
+        assert main(
+            ["scenario", "lossless", "--updates", "5", "--timeline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "broadcast lane" in out
+
+    def test_multi_flag(self, capsys):
+        assert main(
+            ["scenario", "non-historical", "--multi", "--algorithm", "AD-5",
+             "--updates", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "DM-x" in out and "DM-y" in out
+
+    def test_unknown_row_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "weird"])
+
+
+class TestTablesCommand:
+    def test_small_table_run_agrees(self, capsys):
+        code = main(["tables", "table2", "--trials", "25", "--updates", "25"])
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "overall paper agreement: YES" in out
+        assert code == 0
+
+    def test_unknown_table(self, capsys):
+        assert main(["tables", "table99"]) == 2
+
+
+class TestShrinkCommand:
+    def test_finds_and_shrinks(self, capsys):
+        code = main(
+            ["shrink", "aggressive", "--property", "consistent",
+             "--updates", "20", "--max-seeds", "100"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Counterexample: consistent violated" in out
+        assert "shrunk from" in out
+
+    def test_reports_when_nothing_found(self, capsys):
+        # Lossless + AD-4 violates nothing: shrink must fail cleanly.
+        code = main(
+            ["shrink", "lossless", "--algorithm", "AD-4",
+             "--updates", "10", "--max-seeds", "3"]
+        )
+        assert code == 1
+        assert "no" in capsys.readouterr().out
+
+
+class TestExperimentsCommands:
+    def test_domination_small(self, capsys):
+        assert main(["domination", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "AD-1 vs AD-2" in out
+
+    def test_maximality_small(self, capsys):
+        assert main(["maximality", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "maximal" in out
+
+    def test_availability_small(self, capsys):
+        assert main(["availability", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mean miss" in out

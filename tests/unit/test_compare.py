@@ -1,0 +1,95 @@
+"""Unit tests for the algorithm comparison harness."""
+
+import pytest
+
+from repro.analysis.compare import compare_algorithms, compare_run
+from repro.cli import main
+from repro.core.condition import c1, cm
+from repro.workloads.scenarios import SINGLE_VARIABLE_SCENARIOS, run_scenario
+from tests.conftest import alert_deg1, alert_deg2
+
+
+class TestCompareAlgorithms:
+    def test_verdicts_per_algorithm(self):
+        arrivals = [alert_deg1(2), alert_deg1(1), alert_deg1(2)]
+        comparison = compare_algorithms(c1(), arrivals, ("AD-1", "AD-2"))
+        assert comparison.rows[0].verdicts == {"AD-1": True, "AD-2": True}
+        # a(1x) is out of order for AD-2 but new for AD-1:
+        assert comparison.rows[1].verdicts == {"AD-1": True, "AD-2": False}
+        # duplicate a(2x): both drop it.
+        assert comparison.rows[2].verdicts == {"AD-1": False, "AD-2": False}
+
+    def test_summaries_count_displayed(self):
+        arrivals = [alert_deg1(2), alert_deg1(1)]
+        comparison = compare_algorithms(c1(), arrivals, ("AD-1", "AD-2"))
+        assert comparison.summaries["AD-1"]["displayed"] == 2
+        assert comparison.summaries["AD-2"]["displayed"] == 1
+
+    def test_properties_scored_with_traces(self):
+        from repro.core.update import parse_trace
+
+        traces = [parse_trace("1x(3100), 2x(3200)"), parse_trace("2x(3200)")]
+        arrivals = [alert_deg1(2, 3200.0, cond="c1"), alert_deg1(1, 3100.0, cond="c1")]
+        comparison = compare_algorithms(
+            c1(), arrivals, ("AD-1", "AD-2"), traces=traces
+        )
+        props_ad1 = comparison.summaries["AD-1"]["properties"]
+        props_ad2 = comparison.summaries["AD-2"]["properties"]
+        assert props_ad1["complete"] is True
+        assert props_ad1["ordered"] is False
+        assert props_ad2["ordered"] is True
+        assert props_ad2["complete"] is False
+
+    def test_render_contains_everything(self):
+        arrivals = [alert_deg2(3, 1), alert_deg2(3, 2)]
+        comparison = compare_algorithms(c1(), arrivals, ("AD-1", "AD-3"))
+        text = comparison.render()
+        assert "AD-1" in text and "AD-3" in text
+        assert "a(3x,1x)" in text
+        assert "displayed" in text
+
+
+class TestCompareRun:
+    def test_single_variable_defaults(self):
+        run = run_scenario(
+            SINGLE_VARIABLE_SCENARIOS["aggressive"], "pass", 5, n_updates=15
+        )
+        comparison = compare_run(run)
+        assert comparison.algorithms == ("AD-1", "AD-2", "AD-3", "AD-4")
+        assert len(comparison.rows) == len(run.ad_arrivals)
+        # AD-3/AD-4 outputs must score consistent on this (or any) run.
+        assert comparison.summaries["AD-3"]["properties"]["consistent"] is True
+        assert comparison.summaries["AD-4"]["properties"]["ordered"] is True
+
+    def test_multi_variable_defaults(self):
+        from repro.workloads.scenarios import MULTI_VARIABLE_SCENARIOS
+
+        run = run_scenario(
+            MULTI_VARIABLE_SCENARIOS["non-historical"], "pass", 3, n_updates=6
+        )
+        comparison = compare_run(run)
+        assert comparison.algorithms == ("AD-1", "AD-5", "AD-6")
+
+    def test_domination_visible_in_comparison(self):
+        # Whatever AD-4 displays, AD-1 also displays (Theorems 6+8).
+        run = run_scenario(
+            SINGLE_VARIABLE_SCENARIOS["aggressive"], "pass", 9, n_updates=20
+        )
+        comparison = compare_run(run)
+        for row in comparison.rows:
+            if row.verdicts["AD-4"]:
+                assert row.verdicts["AD-1"]
+
+
+class TestCompareCLI:
+    def test_compare_command(self, capsys):
+        assert main(["compare", "aggressive", "--seed", "5", "--updates", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "AD-4" in out
+        assert "displayed" in out
+
+    def test_compare_multi(self, capsys):
+        assert main(
+            ["compare", "non-historical", "--multi", "--updates", "6"]
+        ) == 0
+        assert "AD-6" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Unit tests for the completeness checkers."""
+
+import pytest
+
+from repro.core.condition import c1, c3, cm
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.reference import combine_received, merge_single_variable
+from repro.core.update import parse_trace
+from repro.props.completeness import (
+    check_completeness,
+    check_completeness_multi,
+    check_completeness_single,
+)
+from repro.workloads.traces import lemma_6_example
+
+
+class TestSingleVariable:
+    def test_complete_when_all_alerts_present(self):
+        condition = c1()
+        u1 = parse_trace("1x(2900), 2x(3100), 3x(3200)")
+        u2 = parse_trace("1x(2900), 3x(3200)")
+        merged = merge_single_variable(u1, u2)
+        # AD-1 union of A1 and A2 (deduplicated) = alerts at 2 and 3.
+        a1 = ConditionEvaluator(condition).ingest_all(u1)
+        displayed = a1  # a2's single alert is a duplicate of a1's second
+        assert check_completeness_single(displayed, condition, merged)
+
+    def test_missing_alert_detected(self):
+        condition = c1()
+        u1 = parse_trace("1x(3100)")
+        u2 = parse_trace("2x(3200)")
+        merged = merge_single_variable(u1, u2)
+        a2 = ConditionEvaluator(condition).ingest_all(u2)
+        result = check_completeness_single(a2, condition, merged)
+        assert not result
+        assert len(result.missing) == 1
+        assert not result.extraneous
+
+    def test_extraneous_alert_detected(self):
+        # Theorem 3's example: alerts a(2) and a(4) vs T(U1⊔U2) = {2,3,4}.
+        condition = c3()
+        u1 = parse_trace("1x(1000), 2x(1500)")
+        u2 = parse_trace("3x(2000), 4x(2500)")
+        merged = merge_single_variable(u1, u2)
+        a1 = ConditionEvaluator(condition).ingest_all(u1)
+        a2 = ConditionEvaluator(condition).ingest_all(u2)
+        result = check_completeness_single(a1 + a2, condition, merged)
+        assert not result
+        # a(4x,3x) IS produced by T on merged input (3,4 consecutive), but
+        # a(3x,2x) is missing from the displayed set.
+        assert len(result.missing) == 1
+
+    def test_empty_alerts_empty_reference(self):
+        condition = c1()
+        merged = parse_trace("1x(100)")  # never triggers
+        assert check_completeness_single([], condition, merged)
+
+
+class TestMultiVariable:
+    def test_lemma_6_incomplete(self):
+        example = lemma_6_example()
+        displayed = [
+            example.alert_streams[0][0],
+            example.alert_streams[1][0],
+        ]
+        per_var = combine_received(example.traces, ("x", "y"))
+        result = check_completeness_multi(
+            displayed, example.condition, per_var
+        )
+        assert not result
+
+    def test_witnessing_interleaving_found(self):
+        # A single CE's own alerts are trivially complete for its own
+        # interleaving.
+        example = lemma_6_example()
+        displayed = list(example.alert_streams[0])
+        per_var = {
+            "x": [u for u in example.traces[0] if u.varname == "x"],
+            "y": [u for u in example.traces[0] if u.varname == "y"],
+        }
+        result = check_completeness_multi(displayed, example.condition, per_var)
+        assert result
+        assert result.witness_interleaving is not None
+
+    def test_limit_enforced(self):
+        per_var = {
+            "x": parse_trace(", ".join(f"{i}x" for i in range(1, 15))),
+            "y": parse_trace(", ".join(f"{i}y" for i in range(1, 15))),
+        }
+        with pytest.raises(RuntimeError):
+            check_completeness_multi([], cm(), per_var, limit=100)
+
+
+class TestDispatch:
+    def test_single_variable_dispatch(self):
+        condition = c1()
+        u1 = parse_trace("1x(3100)")
+        u2 = parse_trace("2x(3200)")
+        a1 = ConditionEvaluator(condition).ingest_all(u1)
+        a2 = ConditionEvaluator(condition).ingest_all(u2)
+        assert check_completeness(a1 + a2, condition, [u1, u2])
+
+    def test_multi_variable_dispatch(self):
+        example = lemma_6_example()
+        displayed = [
+            example.alert_streams[0][0],
+            example.alert_streams[1][0],
+        ]
+        assert not check_completeness(
+            displayed, example.condition, list(example.traces)
+        )

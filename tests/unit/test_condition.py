@@ -1,0 +1,175 @@
+"""Unit tests for conditions: classification, canonical instances, guards."""
+
+import pytest
+
+from repro.core.condition import (
+    ExpressionCondition,
+    PredicateCondition,
+    always_true,
+    c1,
+    c2,
+    c3,
+    cm,
+    conservative_guard,
+    sharp_price_drop,
+)
+from repro.core.expressions import H
+from repro.core.history import HistorySet
+from repro.core.update import Update
+
+
+def feed(condition, pairs, var="x"):
+    """Evaluate a condition after pushing (seqno, value) updates."""
+    histories = HistorySet(condition.degrees)
+    for seqno, value in pairs:
+        histories.push(Update(var, seqno, value))
+    return condition.evaluate(histories)
+
+
+class TestClassification:
+    def test_c1_non_historical(self):
+        cond = c1()
+        assert cond.degree("x") == 1
+        assert not cond.is_historical
+        assert cond.is_conservative  # trivially
+        assert not cond.is_aggressive
+
+    def test_c2_historical_aggressive(self):
+        cond = c2()
+        assert cond.degree("x") == 2
+        assert cond.is_historical
+        assert cond.is_aggressive
+
+    def test_c3_historical_conservative(self):
+        cond = c3()
+        assert cond.is_historical
+        assert cond.is_conservative
+
+    def test_cm_two_variables_degree_one(self):
+        cond = cm()
+        assert cond.variables == ("x", "y")
+        assert cond.degree("x") == 1
+        assert cond.degree("y") == 1
+        assert not cond.is_historical
+
+    def test_variables_sorted(self):
+        cond = ExpressionCondition("c", (H.b[0].value > 0) & (H.a[0].value > 0))
+        assert cond.variables == ("a", "b")
+
+
+class TestEvaluation:
+    def test_c1_threshold(self):
+        cond = c1(threshold=3000)
+        assert feed(cond, [(1, 3100.0)])
+        assert not feed(cond, [(1, 3000.0)])  # strict inequality
+
+    def test_c2_triggers_across_gap(self):
+        # Aggressive: 720 - 400 > 200 triggers even though update 2 missing.
+        cond = c2()
+        assert feed(cond, [(1, 400.0), (3, 720.0)])
+
+    def test_c3_refuses_across_gap(self):
+        cond = c3()
+        assert not feed(cond, [(1, 400.0), (3, 720.0)])
+
+    def test_c3_triggers_when_consecutive(self):
+        cond = c3()
+        assert feed(cond, [(1, 400.0), (2, 700.0)])
+
+    def test_cm_absolute_difference(self):
+        cond = cm(gap=100)
+        histories = HistorySet(cond.degrees)
+        histories.push(Update("x", 1, 1000.0))
+        histories.push(Update("y", 1, 1150.0))
+        assert cond.evaluate(histories)
+        histories.push(Update("y", 2, 1050.0))
+        assert not cond.evaluate(histories)
+
+    def test_sharp_price_drop_aggressive(self):
+        cond = sharp_price_drop(0.2)
+        # 100 -> 52 across a lost quote: aggressive variant still triggers.
+        assert feed(cond, [(1, 100.0), (3, 52.0)], var="price")
+
+    def test_sharp_price_drop_conservative(self):
+        cond = sharp_price_drop(0.2, conservative=True)
+        assert not feed(cond, [(1, 100.0), (3, 52.0)], var="price")
+        assert feed(cond, [(1, 100.0), (2, 50.0)], var="price")
+
+    def test_sharp_price_drop_validates_fraction(self):
+        with pytest.raises(ValueError):
+            sharp_price_drop(0.0)
+        with pytest.raises(ValueError):
+            sharp_price_drop(1.0)
+
+    def test_always_true(self):
+        assert feed(always_true(), [(1, 0.0)])
+
+
+class TestConservativeWrapping:
+    def test_as_conservative_adds_gap_guard(self):
+        aggressive = c2()
+        conservative = aggressive.as_conservative()
+        assert conservative.is_conservative
+        assert not feed(conservative, [(1, 400.0), (3, 720.0)])
+        assert feed(conservative, [(1, 400.0), (2, 700.0)])
+
+    def test_as_conservative_names(self):
+        assert c2().as_conservative().name == "c2_conservative"
+        assert c2().as_conservative("mine").name == "mine"
+
+    def test_conservative_flag_on_expression_condition(self):
+        cond = ExpressionCondition(
+            "g", H.x[0].value - H.x[-1].value > 0, conservative=True
+        )
+        assert not feed(cond, [(1, 0.0), (3, 10.0)])
+        assert feed(cond, [(1, 0.0), (2, 10.0)])
+
+    def test_conservative_guard_expression(self):
+        guard = conservative_guard("x")
+        cond = ExpressionCondition("g", (H.x[0].value > 0) & guard)
+        assert feed(cond, [(1, 1.0), (2, 2.0)])
+        assert not feed(cond, [(1, 1.0), (3, 2.0)])
+
+    def test_conservative_guard_requires_variables(self):
+        with pytest.raises(ValueError):
+            conservative_guard()
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ExpressionCondition("", H.x[0].value > 0)
+
+    def test_non_boolean_expression_rejected(self):
+        with pytest.raises(TypeError):
+            ExpressionCondition("c", H.x[0].value + 1)  # type: ignore[arg-type]
+
+    def test_predicate_condition_requires_degrees(self):
+        with pytest.raises(ValueError):
+            PredicateCondition("c", {}, lambda h: True)
+
+    def test_predicate_condition_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            PredicateCondition("c", {"x": 0}, lambda h: True)
+
+    def test_infinite_degree_excluded(self):
+        # The paper excludes conditions of infinite degree; our proxy is a
+        # hard cap that no legitimate condition approaches.
+        with pytest.raises(ValueError):
+            PredicateCondition("c", {"x": 10**9}, lambda h: True)
+
+
+class TestPredicateCondition:
+    def test_predicate_evaluation(self):
+        cond = PredicateCondition(
+            "even", {"x": 1}, lambda h: h["x"][0].seqno % 2 == 0
+        )
+        assert feed(cond, [(2, 0.0)])
+        assert not feed(cond, [(1, 0.0)])
+
+    def test_predicate_with_conservative_guard(self):
+        cond = PredicateCondition(
+            "p", {"x": 2}, lambda h: True, conservative=True
+        )
+        assert not feed(cond, [(1, 0.0), (3, 0.0)])
+        assert feed(cond, [(1, 0.0), (2, 0.0)])

@@ -1,0 +1,164 @@
+"""Unit tests for the consistency checkers, including cross-validation of
+the fast constraint checkers against the exhaustive oracle."""
+
+import pytest
+
+from repro.core.condition import c2, cm
+from repro.core.update import parse_trace
+from repro.props.consistency import (
+    build_precedence_graph,
+    check_consistency_bruteforce,
+    check_consistency_multi,
+    check_consistency_single,
+)
+from tests.conftest import alert_deg1, alert_deg2, alert_xy
+
+
+class TestSingleVariable:
+    def test_empty_is_consistent(self):
+        assert check_consistency_single([], "x")
+
+    def test_non_historical_any_order_consistent(self):
+        alerts = [alert_deg1(3), alert_deg1(1), alert_deg1(2)]
+        assert check_consistency_single(alerts, "x")
+
+    def test_theorem_4_conflict(self):
+        # alert(2x,1x) requires 2 received; alert(3x,1x) requires 2 missed.
+        alerts = [alert_deg2(2, 1), alert_deg2(3, 1)]
+        result = check_consistency_single(alerts, "x")
+        assert not result
+        assert "2" in result.conflict
+
+    def test_conflict_order_independent(self):
+        alerts = [alert_deg2(3, 1), alert_deg2(2, 1)]
+        assert not check_consistency_single(alerts, "x")
+
+    def test_compatible_gapped_alerts(self):
+        # Both require 2 missed: no conflict.
+        alerts = [alert_deg2(3, 1), alert_deg2(4, 3)]
+        assert check_consistency_single(alerts, "x")
+
+    def test_witness_received_set(self):
+        alerts = [alert_deg2(3, 1)]
+        result = check_consistency_single(alerts, "x")
+        assert result.witness_received == frozenset({1, 3})
+
+    def test_conservative_histories_never_conflict(self):
+        # Consecutive histories have no gaps -> Missed stays empty.
+        alerts = [alert_deg2(2, 1), alert_deg2(4, 3), alert_deg2(3, 2)]
+        assert check_consistency_single(alerts, "x")
+
+    def test_variable_inferred_from_alert(self):
+        assert check_consistency_single([alert_deg1(1)])
+
+    def test_multi_variable_alert_needs_explicit_variable(self):
+        with pytest.raises(ValueError):
+            check_consistency_single([alert_xy(1, 1)])
+
+    def test_duplicates_are_consistent(self):
+        alerts = [alert_deg2(3, 1), alert_deg2(3, 1)]
+        assert check_consistency_single(alerts, "x")
+
+
+class TestMultiVariable:
+    def test_empty(self):
+        assert check_consistency_multi([], ["x", "y"])
+
+    def test_theorem_10_cycle(self):
+        # a(2x,1y) and a(1x,2y) cannot coexist.
+        alerts = [alert_xy(2, 1), alert_xy(1, 2)]
+        result = check_consistency_multi(alerts, ["x", "y"])
+        assert not result
+        assert "cycle" in result.conflict
+
+    def test_single_alert_consistent(self):
+        assert check_consistency_multi([alert_xy(2, 1)], ["x", "y"])
+
+    def test_monotone_alerts_consistent(self):
+        alerts = [alert_xy(1, 1), alert_xy(2, 1), alert_xy(2, 2)]
+        assert check_consistency_multi(alerts, ["x", "y"])
+
+    def test_lemma6_pair_consistent_but_incomplete(self):
+        # (8x,2y) and (8x,4y) ARE consistent (drop 3y's forced alert is a
+        # completeness problem, not consistency).
+        alerts = [alert_xy(8, 2), alert_xy(8, 4)]
+        assert check_consistency_multi(alerts, ["x", "y"])
+
+    def test_membership_conflict_detected(self):
+        from repro.core.alert import make_alert
+        from repro.core.update import Update
+
+        gap = make_alert(
+            "c",
+            {"x": [Update("x", 3), Update("x", 1)], "y": [Update("y", 1)]},
+        )
+        needs2 = make_alert(
+            "c",
+            {"x": [Update("x", 2), Update("x", 1)], "y": [Update("y", 1)]},
+        )
+        assert not check_consistency_multi([gap, needs2], ["x", "y"])
+
+    def test_witness_on_success(self):
+        result = check_consistency_multi([alert_xy(1, 1)], ["x", "y"])
+        assert ("x", 1) in result.witness_received
+        assert ("y", 1) in result.witness_received
+
+
+class TestPrecedenceGraph:
+    def test_chain_edges_present(self):
+        graph = build_precedence_graph([alert_xy(2, 1)], ["x", "y"])
+        assert graph.has_edge(("x", 1), ("x", 2))
+
+    def test_alert_edges_present(self):
+        graph = build_precedence_graph([alert_xy(2, 1)], ["x", "y"])
+        assert graph.has_edge(("x", 2), ("y", 2))  # 2x before (1+1)y
+        assert graph.has_edge(("y", 1), ("x", 3))  # 1y before (2+1)x
+
+    def test_theorem_10_graph_cyclic(self):
+        import networkx as nx
+
+        graph = build_precedence_graph(
+            [alert_xy(2, 1), alert_xy(1, 2)], ["x", "y"]
+        )
+        assert not nx.is_directed_acyclic_graph(graph)
+
+
+class TestBruteForceOracle:
+    def test_theorem_4_refuted_by_oracle(self):
+        condition = c2()
+        u1 = parse_trace("1x(400), 2x(700), 3x(720)")
+        u2 = parse_trace("1x(400), 3x(720)")
+        from repro.core.reference import combine_received
+
+        per_var = combine_received([u1, u2], ["x"])
+        from repro.core.evaluator import ConditionEvaluator
+
+        a1 = ConditionEvaluator(condition).ingest_all(u1)
+        a2 = ConditionEvaluator(condition).ingest_all(u2)
+        alerts = a1 + a2
+        assert not check_consistency_bruteforce(alerts, condition, per_var)
+
+    def test_oracle_finds_witness(self):
+        condition = c2()
+        u1 = parse_trace("1x(400), 2x(700)")
+        per_var = {"x": u1}
+        from repro.core.evaluator import ConditionEvaluator
+
+        alerts = ConditionEvaluator(condition).ingest_all(u1)
+        result = check_consistency_bruteforce(alerts, condition, per_var)
+        assert result
+        assert result.witness_sequence is not None
+
+    def test_oracle_limit_enforced(self):
+        condition = cm()
+        per_var = {
+            "x": parse_trace("1x, 2x, 3x, 4x, 5x"),
+            "y": parse_trace("1y, 2y, 3y, 4y, 5y"),
+        }
+        with pytest.raises(RuntimeError):
+            check_consistency_bruteforce(
+                [alert_xy(1, 1)], condition, per_var, limit=10
+            )
+
+    def test_empty_alerts_trivially_consistent(self):
+        assert check_consistency_bruteforce([], cm(), {"x": [], "y": []})

@@ -1,0 +1,44 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Only modules whose docstrings actually carry ``>>>`` examples are
+checked; the test also asserts that list stays in sync (a module gaining
+doctests should be added here so its examples are executed).
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.condition
+import repro.core.expressions
+import repro.core.history
+import repro.core.sequences
+import repro.core.update
+
+MODULES_WITH_DOCTESTS = [
+    repro.core.condition,
+]
+
+MODULES_WITHOUT = [
+    repro.core.sequences,
+    repro.core.update,
+    repro.core.history,
+    repro.core.expressions,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests_pass(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0
+
+
+@pytest.mark.parametrize("module", MODULES_WITHOUT, ids=lambda m: m.__name__)
+def test_registry_in_sync(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted == 0, (
+        f"{module.__name__} gained doctests; add it to MODULES_WITH_DOCTESTS"
+    )

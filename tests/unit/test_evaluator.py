@@ -1,0 +1,126 @@
+"""Unit tests for the ConditionEvaluator (the CE core)."""
+
+import pytest
+
+from repro.core.condition import c1, c2, c3, cm
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.update import parse_trace, Update
+
+
+class TestBasicOperation:
+    def test_alert_emitted_when_condition_true(self):
+        ce = ConditionEvaluator(c1())
+        alert = ce.ingest(Update("x", 1, 3100.0))
+        assert alert is not None
+        assert alert.seqno("x") == 1
+
+    def test_no_alert_when_condition_false(self):
+        ce = ConditionEvaluator(c1())
+        assert ce.ingest(Update("x", 1, 2900.0)) is None
+
+    def test_alert_carries_condname(self):
+        ce = ConditionEvaluator(c1())
+        alert = ce.ingest(Update("x", 1, 3100.0))
+        assert alert.condname == "c1"
+
+    def test_alert_carries_source(self):
+        ce = ConditionEvaluator(c1(), source="CE1")
+        alert = ce.ingest(Update("x", 1, 3100.0))
+        assert alert.source == "CE1"
+
+    def test_alert_history_snapshot(self):
+        ce = ConditionEvaluator(c2())
+        ce.ingest(Update("x", 1, 1000.0))
+        alert = ce.ingest(Update("x", 2, 1300.0))
+        assert alert.histories.seqnos("x") == (2, 1)
+
+    def test_no_evaluation_until_history_defined(self):
+        # c2 is degree 2: the first update alone cannot trigger.
+        ce = ConditionEvaluator(c2())
+        assert ce.ingest(Update("x", 1, 10_000.0)) is None
+        assert not ce.is_warmed_up
+
+    def test_warmed_up_flag(self):
+        ce = ConditionEvaluator(c2())
+        ce.ingest(Update("x", 1, 0.0))
+        assert not ce.is_warmed_up
+        ce.ingest(Update("x", 2, 0.0))
+        assert ce.is_warmed_up
+
+    def test_ignores_irrelevant_variables(self):
+        ce = ConditionEvaluator(c1())
+        assert ce.ingest(Update("y", 1, 9999.0)) is None
+        assert ce.received == ()
+
+    def test_received_records_relevant_updates(self):
+        ce = ConditionEvaluator(c1())
+        ce.ingest(Update("x", 1, 0.0))
+        ce.ingest(Update("x", 2, 0.0))
+        assert [u.seqno for u in ce.received] == [1, 2]
+
+    def test_in_order_assumption_enforced(self):
+        ce = ConditionEvaluator(c1())
+        ce.ingest(Update("x", 2, 0.0))
+        with pytest.raises(ValueError):
+            ce.ingest(Update("x", 1, 0.0))
+
+
+class TestIngestAll:
+    def test_example_1_ce1(self):
+        # U1 = <1x(2900), 2x(3100), 3x(3200)> -> alerts at 2x and 3x.
+        ce = ConditionEvaluator(c1())
+        alerts = ce.ingest_all(parse_trace("1x(2900), 2x(3100), 3x(3200)"))
+        assert [a.seqno("x") for a in alerts] == [2, 3]
+
+    def test_example_1_ce2(self):
+        # U2 = <1x, 3x> -> single alert at 3x.
+        ce = ConditionEvaluator(c1())
+        alerts = ce.ingest_all(parse_trace("1x(2900), 3x(3200)"))
+        assert [a.seqno("x") for a in alerts] == [3]
+
+    def test_alerts_property_accumulates(self):
+        ce = ConditionEvaluator(c1())
+        ce.ingest_all(parse_trace("1x(3100), 2x(3200)"))
+        assert len(ce.alerts) == 2
+
+
+class TestMultiVariable:
+    def test_cm_triggers_on_either_variable(self):
+        ce = ConditionEvaluator(cm())
+        assert ce.ingest(Update("x", 1, 1000.0)) is None  # Hy undefined
+        alert = ce.ingest(Update("y", 1, 1200.0))
+        assert alert is not None
+        assert alert.seqno("x") == 1
+        assert alert.seqno("y") == 1
+
+    def test_cm_alert_per_arrival(self):
+        ce = ConditionEvaluator(cm())
+        ce.ingest(Update("x", 1, 1000.0))
+        ce.ingest(Update("y", 1, 1200.0))
+        alert = ce.ingest(Update("x", 2, 1350.0))
+        assert alert is not None
+        assert alert.seqno("x") == 2
+        assert alert.seqno("y") == 1
+
+
+class TestConservativeBehaviour:
+    def test_c3_does_not_trigger_across_gap(self):
+        ce = ConditionEvaluator(c3())
+        alerts = ce.ingest_all(parse_trace("1x(400), 3x(720)"))
+        assert alerts == []
+
+    def test_c2_triggers_across_gap(self):
+        ce = ConditionEvaluator(c2())
+        alerts = ce.ingest_all(parse_trace("1x(400), 3x(720)"))
+        assert [a.seqno("x") for a in alerts] == [3]
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        ce = ConditionEvaluator(c1())
+        ce.ingest(Update("x", 1, 3100.0))
+        ce.reset()
+        assert ce.received == ()
+        assert ce.alerts == ()
+        # After reset, seqno 1 is acceptable again.
+        assert ce.ingest(Update("x", 1, 3100.0)) is not None

@@ -1,0 +1,184 @@
+"""Unit tests for update histories (Hx) and history snapshots."""
+
+import pytest
+
+from repro.core.history import (
+    HistorySet,
+    HistorySnapshot,
+    UpdateHistory,
+    history_is_consecutive,
+)
+from repro.core.update import Update
+
+
+def make(var: str, seqno: int, value: float = 0.0) -> Update:
+    return Update(var, seqno, value)
+
+
+class TestUpdateHistory:
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            UpdateHistory("x", 0)
+
+    def test_undefined_until_degree_updates(self):
+        history = UpdateHistory("x", 2)
+        assert not history.is_defined
+        history.push(make("x", 1))
+        assert not history.is_defined
+        history.push(make("x", 2))
+        assert history.is_defined
+
+    def test_indexing_follows_paper(self):
+        # After update 7 arrives, Hx[0] is 7x and Hx[-1] is the previous.
+        history = UpdateHistory("x", 2)
+        history.push(make("x", 5))
+        history.push(make("x", 7))
+        assert history[0].seqno == 7
+        assert history[-1].seqno == 5
+
+    def test_gap_preserved(self):
+        # 6x lost: Hx[-1] is 5x when 7x arrives.
+        history = UpdateHistory("x", 2)
+        history.push(make("x", 5))
+        history.push(make("x", 7))
+        assert history[-1].seqno == 5
+
+    def test_ring_evicts_oldest(self):
+        history = UpdateHistory("x", 2)
+        for seqno in (1, 2, 3):
+            history.push(make("x", seqno))
+        assert history[0].seqno == 3
+        assert history[-1].seqno == 2
+
+    def test_positive_index_rejected(self):
+        history = UpdateHistory("x", 1)
+        history.push(make("x", 1))
+        with pytest.raises(IndexError):
+            history[1]
+
+    def test_access_before_defined_raises(self):
+        history = UpdateHistory("x", 2)
+        history.push(make("x", 1))
+        with pytest.raises(LookupError):
+            history[0]
+
+    def test_wrong_variable_rejected(self):
+        history = UpdateHistory("x", 1)
+        with pytest.raises(ValueError):
+            history.push(make("y", 1))
+
+    def test_non_increasing_seqno_rejected(self):
+        history = UpdateHistory("x", 2)
+        history.push(make("x", 3))
+        with pytest.raises(ValueError):
+            history.push(make("x", 3))
+        with pytest.raises(ValueError):
+            history.push(make("x", 2))
+
+    def test_snapshot_most_recent_first(self):
+        history = UpdateHistory("x", 3)
+        for seqno in (1, 2, 4):
+            history.push(make("x", seqno))
+        assert [u.seqno for u in history.snapshot()] == [4, 2, 1]
+
+    def test_snapshot_undefined_raises(self):
+        with pytest.raises(LookupError):
+            UpdateHistory("x", 1).snapshot()
+
+    def test_len(self):
+        history = UpdateHistory("x", 3)
+        assert len(history) == 0
+        history.push(make("x", 1))
+        assert len(history) == 1
+
+
+class TestHistorySet:
+    def test_requires_variables(self):
+        with pytest.raises(ValueError):
+            HistorySet({})
+
+    def test_defined_when_all_defined(self):
+        histories = HistorySet({"x": 1, "y": 2})
+        histories.push(make("x", 1))
+        assert not histories.is_defined
+        histories.push(make("y", 1))
+        assert not histories.is_defined
+        histories.push(make("y", 2))
+        assert histories.is_defined
+
+    def test_routes_by_variable(self):
+        histories = HistorySet({"x": 1, "y": 1})
+        histories.push(make("x", 1))
+        histories.push(make("y", 4))
+        assert histories["x"][0].seqno == 1
+        assert histories["y"][0].seqno == 4
+
+    def test_ignores_unknown_variables(self):
+        histories = HistorySet({"x": 1})
+        histories.push(make("z", 1))  # silently dropped
+        assert not histories.is_defined
+
+    def test_contains(self):
+        histories = HistorySet({"x": 1})
+        assert "x" in histories
+        assert "y" not in histories
+
+    def test_variables(self):
+        assert set(HistorySet({"x": 1, "y": 2}).variables) == {"x", "y"}
+
+
+class TestHistorySnapshot:
+    def test_identity_ignores_values(self):
+        snap1 = HistorySnapshot({"x": (make("x", 3, 100.0),)})
+        snap2 = HistorySnapshot({"x": (make("x", 3, 999.0),)})
+        assert snap1 == snap2
+        assert hash(snap1) == hash(snap2)
+
+    def test_identity_distinguishes_histories(self):
+        # Example from §3: a1 triggered on (3x, 2x), a2 on (3x, 1x) — not
+        # duplicates even though both triggered when 3x arrived.
+        snap1 = HistorySnapshot({"x": (make("x", 3), make("x", 2))})
+        snap2 = HistorySnapshot({"x": (make("x", 3), make("x", 1))})
+        assert snap1 != snap2
+
+    def test_seqno_accessor(self):
+        snap = HistorySnapshot({"x": (make("x", 3), make("x", 1))})
+        assert snap.seqno("x") == 3
+        assert snap.seqnos("x") == (3, 1)
+
+    def test_rejects_empty_history(self):
+        with pytest.raises(ValueError):
+            HistorySnapshot({"x": ()})
+
+    def test_rejects_wrong_order(self):
+        with pytest.raises(ValueError):
+            HistorySnapshot({"x": (make("x", 1), make("x", 3))})
+
+    def test_variables_sorted(self):
+        snap = HistorySnapshot(
+            {"y": (make("y", 1),), "x": (make("x", 1),)}
+        )
+        assert snap.variables == ("x", "y")
+
+    def test_usable_in_sets(self):
+        snap1 = HistorySnapshot({"x": (make("x", 3),)})
+        snap2 = HistorySnapshot({"x": (make("x", 3),)})
+        assert len({snap1, snap2}) == 1
+
+
+class TestHistoryIsConsecutive:
+    def test_consecutive(self):
+        assert history_is_consecutive([make("x", 3), make("x", 2)])
+
+    def test_gap(self):
+        assert not history_is_consecutive([make("x", 3), make("x", 1)])
+
+    def test_single_update_vacuous(self):
+        assert history_is_consecutive([make("x", 9)])
+
+    def test_empty_vacuous(self):
+        assert history_is_consecutive([])
+
+    def test_three_deep(self):
+        assert history_is_consecutive([make("x", 5), make("x", 4), make("x", 3)])
+        assert not history_is_consecutive([make("x", 5), make("x", 4), make("x", 2)])

@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simulation.kernel import Kernel, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(2.0, lambda: fired.append("b"))
+        kernel.schedule(1.0, lambda: fired.append("a"))
+        kernel.schedule(3.0, lambda: fired.append("c"))
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        kernel = Kernel()
+        fired = []
+        for label in "abc":
+            kernel.schedule(1.0, lambda l=label: fired.append(l))
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        kernel = Kernel()
+        seen = []
+        kernel.schedule(5.0, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [5.0]
+        assert kernel.now == 5.0
+
+    def test_schedule_at_absolute_time(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule_at(4.0, lambda: fired.append(kernel.now))
+        kernel.run()
+        assert fired == [4.0]
+
+    def test_negative_delay_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            kernel.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        kernel = Kernel()
+        kernel.schedule(5.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        kernel = Kernel()
+        fired = []
+
+        def first():
+            fired.append(("first", kernel.now))
+            kernel.schedule(1.0, lambda: fired.append(("second", kernel.now)))
+
+        kernel.schedule(1.0, first)
+        kernel.run()
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        kernel = Kernel()
+        fired = []
+        event = kernel.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        kernel.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        kernel = Kernel()
+        event = kernel.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        kernel.run()
+
+
+class TestRunControls:
+    def test_run_until(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append(1))
+        kernel.schedule(10.0, lambda: fired.append(10))
+        kernel.run(until=5.0)
+        assert fired == [1]
+        assert kernel.now == 5.0
+        kernel.run()
+        assert fired == [1, 10]
+
+    def test_max_events_guards_runaway(self):
+        kernel = Kernel()
+
+        def reschedule():
+            kernel.schedule(0.0, reschedule)
+
+        kernel.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            kernel.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Kernel().step() is False
+
+    def test_step_executes_one_event(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append(1))
+        kernel.schedule(2.0, lambda: fired.append(2))
+        assert kernel.step() is True
+        assert fired == [1]
+
+    def test_processed_counter(self):
+        kernel = Kernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None)
+        kernel.run()
+        assert kernel.processed == 2
+
+    def test_pending(self):
+        kernel = Kernel()
+        kernel.schedule(1.0, lambda: None)
+        assert kernel.pending == 1
+
+
+class TestDeterminism:
+    def test_identical_schedules_identical_traces(self):
+        def build():
+            kernel = Kernel()
+            fired = []
+            kernel.schedule(2.0, lambda: fired.append("x"))
+            kernel.schedule(2.0, lambda: fired.append("y"))
+            kernel.schedule(1.0, lambda: fired.append("z"))
+            kernel.run()
+            return fired
+
+        assert build() == build()

@@ -1,0 +1,111 @@
+"""Unit tests for front-link outages and per-CE loss heterogeneity."""
+
+import random
+
+import pytest
+
+from repro.components.system import SystemConfig, run_system
+from repro.core.condition import c1
+from repro.simulation.failures import CrashSchedule
+from repro.simulation.kernel import Kernel
+from repro.simulation.network import FixedDelay, LossyFifoLink
+
+
+class TestLinkOutage:
+    def _link(self, kernel, received, schedule):
+        return LossyFifoLink(
+            kernel,
+            received.append,
+            FixedDelay(1.0),
+            random.Random(0),
+            loss_prob=0.0,
+            outage_schedule=schedule,
+        )
+
+    def test_messages_lost_during_outage(self):
+        kernel = Kernel()
+        received = []
+        link = self._link(kernel, received, CrashSchedule(((5.0, 15.0),)))
+        for time in (0.0, 10.0, 20.0):
+            kernel.schedule_at(time, lambda t=time: link.send(t))
+        kernel.run()
+        assert received == [0.0, 20.0]
+        assert link.lost_to_outage == 1
+
+    def test_no_outage_schedule_never_drops(self):
+        kernel = Kernel()
+        received = []
+        link = self._link(kernel, received, None)
+        for time in (0.0, 10.0):
+            kernel.schedule_at(time, lambda t=time: link.send(t))
+        kernel.run()
+        assert len(received) == 2
+        assert link.lost_to_outage == 0
+
+    def test_outage_independent_of_random_loss(self):
+        kernel = Kernel()
+        received = []
+        link = LossyFifoLink(
+            kernel,
+            received.append,
+            FixedDelay(1.0),
+            random.Random(0),
+            loss_prob=1.0,  # everything randomly lost anyway
+            outage_schedule=CrashSchedule(((0.0, 100.0),)),
+        )
+        link.send("m")
+        kernel.run()
+        assert link.lost_to_outage == 1
+        assert link.lost == 0  # outage drop happens first
+
+
+class TestSystemIntegration:
+    WORKLOAD = {"x": [(t * 10.0, 3100.0) for t in range(10)]}
+
+    def test_front_outage_starves_one_ce(self):
+        config = SystemConfig(
+            replication=2,
+            front_loss=0.0,
+            front_outages={0: CrashSchedule(((0.0, 1000.0),))},
+        )
+        run = run_system(c1(), self.WORKLOAD, config, seed=1)
+        assert len(run.received[0]) == 0
+        assert len(run.received[1]) == 10
+
+    def test_partial_outage_window(self):
+        config = SystemConfig(
+            replication=2,
+            front_loss=0.0,
+            front_outages={0: CrashSchedule(((25.0, 55.0),))},
+        )
+        run = run_system(c1(), self.WORKLOAD, config, seed=1)
+        # Readings at t=30, 40, 50 are lost to CE1 (sent during outage).
+        assert [u.seqno for u in run.received[0]] == [1, 2, 3, 7, 8, 9, 10]
+
+    def test_per_ce_loss_rates(self):
+        workload = {"x": [(t * 10.0, 3100.0) for t in range(200)]}
+        config = SystemConfig(
+            replication=2,
+            front_loss=0.0,
+            front_loss_per_ce={1: 0.5},
+        )
+        run = run_system(c1(), workload, config, seed=3)
+        assert len(run.received[0]) == 200       # CE1 lossless
+        assert 60 <= len(run.received[1]) <= 140  # CE2 ~50%
+
+    def test_per_ce_loss_validated(self):
+        with pytest.raises(ValueError):
+            SystemConfig(front_loss_per_ce={0: 1.5})
+
+    def test_replication_masks_outage(self):
+        # With one CE's network down for half the run, the second CE keeps
+        # the displayed alert set complete (Theorem 2 still applies).
+        config = SystemConfig(
+            replication=2,
+            front_loss=0.0,
+            front_outages={0: CrashSchedule(((0.0, 45.0),))},
+        )
+        run = run_system(c1(), self.WORKLOAD, config, seed=1)
+        report = run.evaluate_properties()
+        assert report.complete
+        assert len({a.seqno("x") for a in run.displayed}) == 10

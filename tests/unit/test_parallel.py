@@ -1,0 +1,62 @@
+"""Unit tests for the parallel trial runner."""
+
+import pytest
+
+from repro.analysis.parallel import build_table_parallel, run_trial, run_trials
+from repro.analysis.tables import build_table
+
+
+class TestRunTrial:
+    def test_single_trial(self):
+        seed, report = run_trial(("single", "lossless", "AD-1", 42, 10, 2))
+        assert seed == 42
+        assert report.complete  # lossless under AD-1: Theorem 1
+
+    def test_multi_matrix(self):
+        _, report = run_trial(("multi", "non-historical", "AD-5", 7, 6, 2))
+        assert report.ordered
+
+
+class TestRunTrials:
+    SPECS = [("single", "aggressive", "AD-1", seed, 12, 2) for seed in range(6)]
+
+    def test_sequential(self):
+        outcomes = run_trials(self.SPECS, processes=1)
+        assert [seed for seed, _ in outcomes] == list(range(6))
+
+    def test_parallel_matches_sequential(self):
+        sequential = run_trials(self.SPECS, processes=1)
+        parallel = run_trials(self.SPECS, processes=2)
+        assert [s for s, _ in sequential] == [s for s, _ in parallel]
+        for (_, r1), (_, r2) in zip(sequential, parallel):
+            assert r1.summary == r2.summary
+
+    def test_invalid_processes(self):
+        with pytest.raises(ValueError):
+            run_trials(self.SPECS, processes=0)
+
+
+class TestBuildTableParallel:
+    def test_matches_sequential_build_table(self):
+        kwargs = dict(trials=8, n_updates=12, base_seed=777)
+        sequential = build_table("table2", **kwargs)
+        parallel = build_table_parallel("table2", processes=2, **kwargs)
+        for row in sequential.tallies:
+            s, p = sequential.tallies[row], parallel.tallies[row]
+            assert s.runs == p.runs
+            assert s.ordered_violations == p.ordered_violations
+            assert s.completeness_violations == p.completeness_violations
+            assert s.consistency_violations == p.consistency_violations
+
+    def test_parallel_multi_table(self):
+        result = build_table_parallel(
+            "table3",
+            trials=4,
+            n_updates=10,
+            completeness_trials=6,
+            completeness_n_updates=5,
+            processes=2,
+        )
+        for row, tally in result.tallies.items():
+            assert tally.runs == 10
+            assert tally.always_ordered  # AD-5 Lemma 4, any process count

@@ -1,0 +1,122 @@
+"""Unit tests for per-run property evaluation and tallying."""
+
+from repro.core.condition import c1, c2
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.update import parse_trace
+from repro.props.report import PropertyTally, evaluate_run
+from repro.workloads.traces import lemma_6_example, theorem_10_example
+
+
+def run_pieces(condition, traces_text):
+    traces = [parse_trace(t) for t in traces_text]
+    alerts = []
+    for trace in traces:
+        alerts.extend(ConditionEvaluator(condition).ingest_all(trace))
+    return traces, alerts
+
+
+class TestEvaluateRunSingle:
+    def test_all_properties_hold(self):
+        condition = c1()
+        traces, alerts = run_pieces(
+            condition, ["1x(3100), 2x(3200)", "1x(3100), 2x(3200)"]
+        )
+        # Display one copy of each (what AD-1 would do with in-order arrival).
+        displayed = alerts[:2]
+        report = evaluate_run(condition, traces, displayed)
+        assert report.ordered
+        assert report.complete
+        assert report.consistent
+        assert report.summary == {
+            "ordered": True,
+            "complete": True,
+            "consistent": True,
+        }
+
+    def test_unordered_detected(self):
+        condition = c1()
+        traces, alerts = run_pieces(condition, ["1x(3100), 2x(3200)"])
+        displayed = [alerts[1], alerts[0]]
+        report = evaluate_run(condition, traces, displayed)
+        assert not report.ordered
+        assert report.complete  # same alert set, wrong order
+
+    def test_inconsistent_detected(self):
+        condition = c2()
+        traces, alerts = run_pieces(
+            condition, ["1x(400), 2x(700), 3x(720)", "1x(400), 3x(720)"]
+        )
+        report = evaluate_run(condition, traces, alerts)
+        assert not report.consistent
+        assert not report.complete
+
+
+class TestEvaluateRunMulti:
+    def test_theorem_10(self):
+        example = theorem_10_example()
+        displayed = [
+            example.alert_streams[0][0],
+            example.alert_streams[1][0],
+        ]
+        report = evaluate_run(example.condition, list(example.traces), displayed)
+        assert not report.ordered
+        assert not report.consistent
+        assert report.complete is not None and not report.complete
+
+    def test_completeness_skipped_when_huge(self):
+        example = lemma_6_example()
+        displayed = [example.alert_streams[0][0]]
+        report = evaluate_run(
+            example.condition,
+            list(example.traces),
+            displayed,
+            interleaving_limit=1,
+        )
+        assert report.complete is None  # skipped, not guessed
+
+
+class TestPropertyTally:
+    def test_counts_violations(self):
+        condition = c1()
+        traces, alerts = run_pieces(condition, ["1x(3100), 2x(3200)"])
+        good = evaluate_run(condition, traces, alerts)
+        bad = evaluate_run(condition, traces, [alerts[1], alerts[0]])
+        tally = PropertyTally()
+        tally.add(good, seed=1)
+        tally.add(bad, seed=2)
+        assert tally.runs == 2
+        assert tally.ordered_violations == 1
+        assert not tally.always_ordered
+        assert tally.always_complete
+        assert tally.always_consistent
+        assert tally.first_unordered_seed == 2
+
+    def test_none_verdicts_not_counted(self):
+        example = lemma_6_example()
+        displayed = [example.alert_streams[0][0]]
+        report = evaluate_run(
+            example.condition,
+            list(example.traces),
+            displayed,
+            interleaving_limit=1,
+        )
+        tally = PropertyTally()
+        tally.add(report)
+        assert tally.completeness_checked == 0
+        assert tally.always_complete is None
+
+    def test_cell_rendering(self):
+        tally = PropertyTally()
+        cell = tally.cell()
+        assert cell == {"ordered": True, "complete": None, "consistent": None}
+
+    def test_witnesses_recorded(self):
+        condition = c2()
+        traces, alerts = run_pieces(
+            condition, ["1x(400), 2x(700), 3x(720)", "1x(400), 3x(720)"]
+        )
+        report = evaluate_run(condition, traces, alerts)
+        tally = PropertyTally()
+        tally.add(report, seed=42)
+        assert tally.first_inconsistent_seed == 42
+        assert "consistent" in tally.witnesses

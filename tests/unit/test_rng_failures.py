@@ -1,0 +1,111 @@
+"""Unit tests for RNG streams and crash schedules."""
+
+import random
+
+import pytest
+
+from repro.simulation.failures import CrashSchedule, random_crash_schedule
+from repro.simulation.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(7).stream("link").random()
+        b = RandomStreams(7).stream("link").random()
+        assert a == b
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(7)
+        assert streams.stream("a").random() != streams.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random()
+        b = RandomStreams(2).stream("x").random()
+        assert a != b
+
+    def test_consuming_one_stream_does_not_shift_another(self):
+        streams1 = RandomStreams(5)
+        streams1.stream("noisy").random()
+        value_after = streams1.stream("quiet").random()
+        streams2 = RandomStreams(5)
+        value_direct = streams2.stream("quiet").random()
+        assert value_after == value_direct
+
+    def test_spawn_changes_streams(self):
+        parent = RandomStreams(5)
+        child = parent.spawn("trial-1")
+        assert child.stream("x").random() != parent.stream("x").random()
+
+    def test_spawn_reproducible(self):
+        a = RandomStreams(5).spawn("t").stream("x").random()
+        b = RandomStreams(5).spawn("t").stream("x").random()
+        assert a == b
+
+
+class TestCrashSchedule:
+    def test_never(self):
+        schedule = CrashSchedule.never()
+        assert schedule.is_up(0.0)
+        assert schedule.is_up(1e9)
+        assert schedule.total_downtime == 0.0
+
+    def test_window_boundaries_inclusive(self):
+        schedule = CrashSchedule(((10.0, 20.0),))
+        assert schedule.is_up(9.999)
+        assert not schedule.is_up(10.0)
+        assert not schedule.is_up(15.0)
+        assert not schedule.is_up(20.0)
+        assert schedule.is_up(20.001)
+
+    def test_multiple_windows(self):
+        schedule = CrashSchedule(((1.0, 2.0), (5.0, 6.0)))
+        assert not schedule.is_up(1.5)
+        assert schedule.is_up(3.0)
+        assert not schedule.is_up(5.5)
+
+    def test_total_downtime(self):
+        schedule = CrashSchedule(((1.0, 2.0), (5.0, 8.0)))
+        assert schedule.total_downtime == 4.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSchedule(((5.0, 1.0),))
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSchedule(((1.0, 5.0), (3.0, 6.0)))
+
+    def test_from_windows_sorts(self):
+        schedule = CrashSchedule.from_windows([(5.0, 6.0), (1.0, 2.0)])
+        assert schedule.windows == ((1.0, 2.0), (5.0, 6.0))
+
+
+class TestRandomCrashSchedule:
+    def test_zero_rate_never_crashes(self):
+        schedule = random_crash_schedule(random.Random(0), 1000.0, 0.0, 10.0)
+        assert schedule.windows == ()
+
+    def test_windows_within_horizon(self):
+        schedule = random_crash_schedule(random.Random(1), 100.0, 0.1, 5.0)
+        for start, end in schedule.windows:
+            assert 0.0 <= start <= end <= 100.0
+
+    def test_reproducible(self):
+        a = random_crash_schedule(random.Random(9), 500.0, 0.05, 20.0)
+        b = random_crash_schedule(random.Random(9), 500.0, 0.05, 20.0)
+        assert a == b
+
+    def test_higher_rate_more_downtime(self):
+        low = random_crash_schedule(random.Random(3), 10_000.0, 0.001, 10.0)
+        high = random_crash_schedule(random.Random(3), 10_000.0, 0.05, 10.0)
+        assert high.total_downtime > low.total_downtime
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            random_crash_schedule(random.Random(0), 10.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            random_crash_schedule(random.Random(0), 10.0, 1.0, -1.0)

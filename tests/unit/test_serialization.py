@@ -1,0 +1,142 @@
+"""Unit tests for JSON serialization of traces, alerts, conditions and
+counterexamples."""
+
+import json
+
+import pytest
+
+from repro.core.condition import PredicateCondition, c1, c2, c3, cm
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.serialization import (
+    alert_from_json,
+    alert_to_json,
+    condition_from_json,
+    condition_to_json,
+    counterexample_from_json,
+    counterexample_to_json,
+    dump_counterexample,
+    expression_to_text,
+    load_counterexample,
+    trace_from_json,
+    trace_to_json,
+    update_from_json,
+    update_to_json,
+)
+from repro.core.update import Update, parse_trace
+
+
+class TestUpdateRoundTrip:
+    def test_roundtrip(self):
+        update = Update("x", 7, 3000.5)
+        restored = update_from_json(update_to_json(update))
+        assert restored == update
+        assert restored.value == update.value
+
+    def test_trace_roundtrip(self):
+        trace = parse_trace("1x(2900), 2x(3100), 3x(3200)")
+        assert trace_from_json(trace_to_json(trace)) == trace
+
+    def test_json_serializable(self):
+        text = json.dumps(trace_to_json(parse_trace("1x(1), 2x(2)")))
+        assert "seqno" in text
+
+    def test_validation_via_constructor(self):
+        with pytest.raises(ValueError):
+            update_from_json({"var": "x", "seqno": -1, "value": 0.0})
+
+
+class TestAlertRoundTrip:
+    def _alert(self):
+        ce = ConditionEvaluator(c2(), source="CE1")
+        ce.ingest_all(parse_trace("1x(100), 3x(400)"))
+        (alert,) = ce.alerts
+        return alert
+
+    def test_roundtrip_preserves_identity(self):
+        alert = self._alert()
+        restored = alert_from_json(alert_to_json(alert))
+        assert restored.identity() == alert.identity()
+        assert restored.source == "CE1"
+        assert restored.histories.seqnos("x") == (3, 1)
+
+    def test_corrupted_history_rejected(self):
+        data = alert_to_json(self._alert())
+        data["histories"]["x"].reverse()  # breaks most-recent-first order
+        with pytest.raises(ValueError):
+            alert_from_json(data)
+
+
+class TestConditionRoundTrip:
+    @pytest.mark.parametrize("factory", [c1, c2, c3, cm])
+    def test_canonical_conditions(self, factory):
+        condition = factory()
+        restored = condition_from_json(condition_to_json(condition))
+        assert restored.name == condition.name
+        assert restored.degrees == condition.degrees
+        assert restored.is_conservative == condition.is_conservative
+
+    def test_behavioural_equivalence(self):
+        condition = c3()
+        restored = condition_from_json(condition_to_json(condition))
+        trace = parse_trace("1x(100), 2x(350), 4x(800), 5x(1100)")
+        original_alerts = ConditionEvaluator(condition).ingest_all(trace)
+        restored_alerts = ConditionEvaluator(restored).ingest_all(trace)
+        assert [a.seqno("x") for a in original_alerts] == [
+            a.seqno("x") for a in restored_alerts
+        ]
+
+    def test_expression_text_parses(self):
+        from repro.core.parser import parse_expression
+
+        text = expression_to_text(cm().expression)
+        parse_expression(text)  # must not raise
+
+    def test_predicate_condition_rejected(self):
+        condition = PredicateCondition("p", {"x": 1}, lambda h: True)
+        with pytest.raises(TypeError):
+            condition_to_json(condition)
+
+
+class TestCounterexampleRoundTrip:
+    def _counterexample(self):
+        from repro.analysis.witness import counterexample_from_run
+        from repro.workloads.scenarios import SINGLE_VARIABLE_SCENARIOS, run_scenario
+
+        scenario = SINGLE_VARIABLE_SCENARIOS["aggressive"]
+        for seed in range(200):
+            run = run_scenario(scenario, "AD-1", seed, n_updates=20)
+            counterexample = counterexample_from_run(run)
+            if counterexample is not None and counterexample.violation == "consistent":
+                return counterexample
+        pytest.fail("no counterexample found")
+
+    def test_roundtrip(self):
+        original = self._counterexample()
+        restored = counterexample_from_json(counterexample_to_json(original))
+        assert restored.violation == original.violation
+        assert restored.traces == original.traces
+        assert restored.arrival_pattern == original.arrival_pattern
+        assert [a.identity() for a in restored.displayed] == [
+            a.identity() for a in original.displayed
+        ]
+
+    def test_restored_counterexample_still_violates(self):
+        from repro.analysis.witness import find_violation, replay
+        from repro.displayers.ad1 import AD1
+
+        original = self._counterexample()
+        restored = counterexample_from_json(counterexample_to_json(original))
+        _, report = replay(
+            restored.condition,
+            restored.traces,
+            restored.arrival_pattern,
+            AD1,
+        )
+        assert find_violation(report) == "consistent"
+
+    def test_file_roundtrip(self, tmp_path):
+        original = self._counterexample()
+        path = tmp_path / "counterexample.json"
+        dump_counterexample(original, str(path))
+        restored = load_counterexample(str(path))
+        assert restored.traces == original.traces

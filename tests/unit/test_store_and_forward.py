@@ -1,0 +1,145 @@
+"""Unit tests for AD downtime: store-and-forward back links (§1).
+
+"If the PDA is off or disconnected, the CE logs the alert, and sends it
+later, when the AD becomes available."
+"""
+
+import random
+
+import pytest
+
+from repro.components.system import SystemConfig, run_system
+from repro.core.condition import c1
+from repro.simulation.failures import CrashSchedule
+from repro.simulation.kernel import Kernel
+from repro.simulation.network import FixedDelay, StoreAndForwardLink
+
+
+class TestNextUpTime:
+    def test_up_now(self):
+        schedule = CrashSchedule(((10.0, 20.0),))
+        assert schedule.next_up_time(5.0) == 5.0
+
+    def test_inside_window(self):
+        schedule = CrashSchedule(((10.0, 20.0),))
+        assert schedule.next_up_time(15.0) == pytest.approx(20.0, abs=1e-3)
+        assert schedule.next_up_time(15.0) > 20.0
+
+    def test_chained_windows(self):
+        schedule = CrashSchedule(((10.0, 20.0), (20.0 + 5e-7, 30.0)))
+        # Recovery at ~20 lands inside the second window; chain to ~30.
+        assert schedule.next_up_time(15.0) > 30.0
+
+    def test_never_crashed(self):
+        assert CrashSchedule.never().next_up_time(7.0) == 7.0
+
+
+class TestStoreAndForwardLink:
+    def _link(self, kernel, received, schedule):
+        return StoreAndForwardLink(
+            kernel,
+            received.append,
+            FixedDelay(1.0),
+            random.Random(0),
+            availability=schedule,
+        )
+
+    def test_delivers_normally_when_up(self):
+        kernel = Kernel()
+        received = []
+        link = self._link(kernel, received, CrashSchedule.never())
+        link.send("a")
+        kernel.run()
+        assert received == ["a"]
+        assert link.redelivered == 0
+
+    def test_holds_message_during_downtime(self):
+        kernel = Kernel()
+        received = []
+        times = []
+        schedule = CrashSchedule(((0.0, 50.0),))
+        link = StoreAndForwardLink(
+            kernel,
+            lambda m: (received.append(m), times.append(kernel.now)),
+            FixedDelay(1.0),
+            random.Random(0),
+            availability=schedule,
+        )
+        link.send("held")
+        kernel.run()
+        assert received == ["held"]
+        assert times[0] > 50.0
+        assert link.redelivered == 1
+
+    def test_order_preserved_across_downtime(self):
+        kernel = Kernel()
+        received = []
+        schedule = CrashSchedule(((0.0, 50.0),))
+        link = self._link(kernel, received, schedule)
+        for index in range(5):
+            kernel.schedule_at(float(index), lambda i=index: link.send(i))
+        kernel.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_messages_after_recovery_not_delayed(self):
+        kernel = Kernel()
+        received = []
+        times = []
+        schedule = CrashSchedule(((0.0, 10.0),))
+        link = StoreAndForwardLink(
+            kernel,
+            lambda m: (received.append(m), times.append(kernel.now)),
+            FixedDelay(1.0),
+            random.Random(0),
+            availability=schedule,
+        )
+        kernel.schedule_at(30.0, lambda: link.send("late"))
+        kernel.run()
+        assert times[0] == pytest.approx(31.0)
+
+
+class TestADDowntimeEndToEnd:
+    WORKLOAD = {"x": [(t * 10.0, 3100.0) for t in range(8)]}
+
+    def test_no_alert_lost_to_ad_downtime(self):
+        # Lossless front links + AD off for a long window in the middle:
+        # every alert must still reach the display, in order.
+        config = SystemConfig(
+            replication=2,
+            front_loss=0.0,
+            ad_crash_schedule=CrashSchedule(((20.0, 200.0),)),
+        )
+        result = run_system(c1(), self.WORKLOAD, config, seed=4)
+        baseline = run_system(
+            c1(),
+            self.WORKLOAD,
+            SystemConfig(replication=2, front_loss=0.0),
+            seed=4,
+        )
+        assert {a.identity() for a in result.displayed} == {
+            a.identity() for a in baseline.displayed
+        }
+
+    def test_displayed_remains_per_ce_ordered(self):
+        config = SystemConfig(
+            replication=2,
+            front_loss=0.0,
+            ad_crash_schedule=CrashSchedule(((15.0, 60.0),)),
+        )
+        result = run_system(c1(), self.WORKLOAD, config, seed=4)
+        for source in ("CE1", "CE2"):
+            seqnos = [a.seqno("x") for a in result.displayed if a.source == source]
+            assert seqnos == sorted(seqnos)
+
+    def test_properties_unaffected_by_ad_downtime(self):
+        # Theorem 2 must keep holding: AD downtime delays alerts but the
+        # displayed set equals the no-downtime one for this seed.
+        config = SystemConfig(
+            replication=2,
+            front_loss=0.3,
+            ad_crash_schedule=CrashSchedule(((10.0, 120.0),)),
+        )
+        result = run_system(c1(), self.WORKLOAD, config, seed=11)
+        report = result.evaluate_properties()
+        assert report.complete
+        assert report.consistent

@@ -1,0 +1,127 @@
+"""Unit tests for timeline rendering and parameter sweeps."""
+
+from dataclasses import replace
+
+from repro.analysis.sweeps import (
+    SweepPoint,
+    loss_sweep,
+    render_sweep,
+    replication_sweep,
+)
+from repro.analysis.timeline import TimelineRecorder, render_logical_timeline
+from repro.components.system import MonitoringSystem, SystemConfig, run_system
+from repro.core.condition import c1
+from repro.workloads.scenarios import SINGLE_VARIABLE_SCENARIOS
+
+WORKLOAD = {"x": [(t * 10.0, 3100.0 if t % 2 else 2900.0) for t in range(6)]}
+
+
+class TestLogicalTimeline:
+    def test_contains_all_lanes(self):
+        run = run_system(c1(), WORKLOAD, SystemConfig(front_loss=0.0), seed=1)
+        text = render_logical_timeline(run)
+        assert "broadcast lane" in text
+        assert "CE1 lane" in text
+        assert "CE2 lane" in text
+        assert "AD lane" in text
+
+    def test_broadcast_times_rendered(self):
+        run = run_system(c1(), WORKLOAD, SystemConfig(front_loss=0.0), seed=1)
+        text = render_logical_timeline(run)
+        assert "t=     0.0" in text
+        assert "broadcast 1x(2900)" in text
+
+    def test_alert_annotations(self):
+        run = run_system(c1(), WORKLOAD, SystemConfig(front_loss=0.0), seed=1)
+        text = render_logical_timeline(run)
+        assert "-> a(2x)" in text
+
+    def test_display_vs_filter_verdicts(self):
+        run = run_system(c1(), WORKLOAD, SystemConfig(front_loss=0.0), seed=1)
+        text = render_logical_timeline(run)
+        assert "display" in text
+        assert "filter" in text  # duplicate alerts from CE2
+
+    def test_max_rows_truncation(self):
+        run = run_system(c1(), WORKLOAD, SystemConfig(front_loss=0.0), seed=1)
+        text = render_logical_timeline(run, max_rows=5)
+        assert "more rows" in text
+        assert len(text.splitlines()) == 6
+
+
+class TestTimelineRecorder:
+    def test_captures_timestamped_events(self):
+        system = MonitoringSystem(c1(), WORKLOAD, SystemConfig(front_loss=0.0), seed=1)
+        recorder = TimelineRecorder.attach(system)
+        system.run()
+        kinds = {e.kind for e in recorder.events}
+        assert {"broadcast", "receive", "alert", "display"} <= kinds
+
+    def test_event_counts_match_run(self):
+        system = MonitoringSystem(c1(), WORKLOAD, SystemConfig(front_loss=0.0), seed=1)
+        recorder = TimelineRecorder.attach(system)
+        result = system.run()
+        broadcasts = [e for e in recorder.events if e.kind == "broadcast"]
+        receives = [e for e in recorder.events if e.kind == "receive"]
+        displays = [e for e in recorder.events if e.kind == "display"]
+        filters = [e for e in recorder.events if e.kind == "filter"]
+        assert len(broadcasts) == len(result.sent["x"])
+        assert len(receives) == sum(len(t) for t in result.received)
+        assert len(displays) == len(result.displayed)
+        assert len(filters) == len(result.filtered)
+
+    def test_times_monotone_in_render(self):
+        system = MonitoringSystem(c1(), WORKLOAD, SystemConfig(front_loss=0.2), seed=3)
+        recorder = TimelineRecorder.attach(system)
+        system.run()
+        times = [e.time for e in sorted(recorder.events, key=lambda e: e.time)]
+        assert times == sorted(times)
+        assert recorder.render()  # renders without error
+
+    def test_recorder_does_not_change_outcome(self):
+        plain = run_system(c1(), WORKLOAD, SystemConfig(front_loss=0.3), seed=9)
+        system = MonitoringSystem(c1(), WORKLOAD, SystemConfig(front_loss=0.3), seed=9)
+        TimelineRecorder.attach(system)
+        recorded = system.run()
+        assert plain.displayed == recorded.displayed
+        assert plain.received == recorded.received
+
+
+class TestSweeps:
+    def test_loss_sweep_monotone_signal(self):
+        scenario = SINGLE_VARIABLE_SCENARIOS["aggressive"]
+        points = loss_sweep(scenario, "AD-1", [0.0, 0.4], trials=15, n_updates=25)
+        assert len(points) == 2
+        zero, lossy = points
+        assert zero.inconsistent_rate == 0.0  # lossless: Theorem 1
+        assert lossy.inconsistent_rate > 0.0
+
+    def test_loss_sweep_does_not_mutate_scenario(self):
+        scenario = SINGLE_VARIABLE_SCENARIOS["aggressive"]
+        original_loss = scenario.front_loss
+        loss_sweep(scenario, "AD-1", [0.5], trials=2, n_updates=10)
+        assert scenario.front_loss == original_loss
+
+    def test_replication_sweep_guarantees_hold(self):
+        # AD-4's guarantees must survive replication 3 (the paper: the
+        # 2-CE analysis "can be easily extended").
+        scenario = SINGLE_VARIABLE_SCENARIOS["aggressive"]
+        points = replication_sweep(scenario, "AD-4", [2, 3], trials=15, n_updates=25)
+        for point in points:
+            assert point.unordered_rate == 0.0
+            assert point.inconsistent_rate == 0.0
+
+    def test_sweep_point_from_tally_handles_unchecked(self):
+        from repro.props.report import PropertyTally
+
+        point = SweepPoint.from_tally("p", 1.0, "AD-1", PropertyTally())
+        assert point.incomplete_rate is None
+        assert point.inconsistent_rate is None
+
+    def test_render_sweep(self):
+        scenario = SINGLE_VARIABLE_SCENARIOS["non-historical"]
+        points = loss_sweep(scenario, "AD-1", [0.2], trials=5, n_updates=15)
+        text = render_sweep("demo", points)
+        assert "demo" in text
+        assert "front_loss" in text
+        assert "AD-1" in text

@@ -1,0 +1,122 @@
+"""Unit tests for Update and the paper's shorthand notation."""
+
+import pytest
+
+from repro.core.update import Update, format_trace, parse_trace, parse_update
+
+
+class TestUpdate:
+    def test_fields(self):
+        update = Update("x", 7, 3000.0)
+        assert update.varname == "x"
+        assert update.seqno == 7
+        assert update.value == 3000.0
+
+    def test_value_defaults_to_zero(self):
+        assert Update("x", 1).value == 0.0
+
+    def test_rejects_empty_varname(self):
+        with pytest.raises(ValueError):
+            Update("", 1)
+
+    def test_rejects_negative_seqno(self):
+        with pytest.raises(ValueError):
+            Update("x", -1)
+
+    def test_equality_ignores_value(self):
+        # Same (var, seqno) is the same stream position; the DM broadcasts
+        # one value per seqno, so value is not part of identity.
+        assert Update("x", 3, 100.0) == Update("x", 3, 200.0)
+
+    def test_inequality_across_variables(self):
+        assert Update("x", 3) != Update("y", 3)
+
+    def test_ordering_by_seqno_within_variable(self):
+        assert Update("x", 2) < Update("x", 10)
+
+    def test_hashable(self):
+        assert len({Update("x", 1, 5.0), Update("x", 1, 6.0)}) == 1
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Update("x", 1).seqno = 2  # type: ignore[misc]
+
+    def test_replace_value(self):
+        update = Update("x", 1, 5.0).replace_value(9.0)
+        assert update.value == 9.0
+        assert update.seqno == 1
+
+    def test_shorthand_with_value(self):
+        assert Update("x", 7, 3000.0).shorthand() == "7x(3000)"
+
+    def test_shorthand_without_value(self):
+        assert Update("x", 7, 3000.0).shorthand(with_value=False) == "7x"
+
+    def test_shorthand_fractional_value(self):
+        assert Update("p", 2, 52.5).shorthand() == "2p(52.5)"
+
+
+class TestParseUpdate:
+    def test_with_value(self):
+        update = parse_update("7x(3000)")
+        assert update == Update("x", 7)
+        assert update.value == 3000.0
+
+    def test_without_value(self):
+        update = parse_update("7x")
+        assert update.seqno == 7
+        assert update.value == 0.0
+
+    def test_default_value(self):
+        assert parse_update("7x", default_value=1.5).value == 1.5
+
+    def test_negative_value(self):
+        assert parse_update("1x(-20.5)").value == -20.5
+
+    def test_multichar_varname(self):
+        update = parse_update("3price(99.5)")
+        assert update.varname == "price"
+        assert update.seqno == 3
+
+    def test_whitespace_tolerated(self):
+        assert parse_update("  7x ( 3000 ) ") == Update("x", 7)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_update("x7")
+        with pytest.raises(ValueError):
+            parse_update("")
+        with pytest.raises(ValueError):
+            parse_update("7x(abc)")
+
+    def test_roundtrip(self):
+        original = Update("x", 12, 345.0)
+        assert parse_update(original.shorthand()) == original
+
+
+class TestParseTrace:
+    def test_paper_trace(self):
+        updates = parse_trace("1x(2900), 2x(3100), 3x(3200)")
+        assert [u.seqno for u in updates] == [1, 2, 3]
+        assert [u.value for u in updates] == [2900.0, 3100.0, 3200.0]
+
+    def test_mixed_variables(self):
+        updates = parse_trace("2x, 6y, 1y, 3x")
+        assert [(u.seqno, u.varname) for u in updates] == [
+            (2, "x"),
+            (6, "y"),
+            (1, "y"),
+            (3, "x"),
+        ]
+
+    def test_empty(self):
+        assert parse_trace("") == []
+        assert parse_trace("   ") == []
+
+    def test_whitespace_separated(self):
+        assert len(parse_trace("1x 2x 3x")) == 3
+
+    def test_format_trace_roundtrip_style(self):
+        updates = parse_trace("1x, 2x")
+        assert format_trace(updates) == "<1x, 2x>"
+        assert format_trace(updates, with_values=True) == "<1x(0), 2x(0)>"

@@ -1,0 +1,123 @@
+"""Unit tests for alert wire encodings (§2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.update import Update
+from repro.core.wire import (
+    AlertEncoding,
+    ChecksumAD1,
+    checksum_histories,
+    encode_alert,
+    minimum_encoding,
+)
+from repro.displayers.ad1 import AD1
+from tests.conftest import alert_deg1, alert_deg2, alert_xy
+
+
+class TestEncodeAlert:
+    def test_full_contains_values(self):
+        wire = encode_alert(alert_deg2(3, 1), AlertEncoding.FULL)
+        assert wire.payload == (("x", ((3, 0.0), (1, 0.0))),)
+
+    def test_seqnos_drop_values(self):
+        wire = encode_alert(alert_deg2(3, 1), AlertEncoding.SEQNOS)
+        assert wire.payload == (("x", (3, 1)),)
+
+    def test_heads_keep_only_head(self):
+        wire = encode_alert(alert_deg2(3, 1), AlertEncoding.HEADS)
+        assert wire.payload == (("x", 3),)
+
+    def test_checksum_is_fixed_size(self):
+        wire1 = encode_alert(alert_deg2(3, 1), AlertEncoding.CHECKSUM)
+        wire2 = encode_alert(alert_deg2(400, 1), AlertEncoding.CHECKSUM)
+        assert wire1.size_bytes == wire2.size_bytes
+
+    def test_sizes_strictly_shrink(self):
+        alert = alert_deg2(7, 5)
+        sizes = [
+            encode_alert(alert, enc).size_bytes
+            for enc in (
+                AlertEncoding.FULL,
+                AlertEncoding.SEQNOS,
+                AlertEncoding.HEADS,
+                AlertEncoding.CHECKSUM,
+            )
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(set(sizes)) == 4
+
+    def test_multi_variable_sizes(self):
+        wire = encode_alert(alert_xy(2, 3), AlertEncoding.HEADS)
+        assert wire.payload == (("x", 2), ("y", 3))
+
+    def test_full_size_scales_with_degree(self):
+        deg2 = encode_alert(alert_deg2(3, 1), AlertEncoding.FULL).size_bytes
+        deg1 = encode_alert(alert_deg1(3), AlertEncoding.FULL).size_bytes
+        assert deg2 > deg1
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        assert checksum_histories(alert_deg2(3, 1)) == checksum_histories(
+            alert_deg2(3, 1)
+        )
+
+    def test_distinguishes_histories(self):
+        assert checksum_histories(alert_deg2(3, 1)) != checksum_histories(
+            alert_deg2(3, 2)
+        )
+
+    def test_ignores_values(self):
+        from repro.core.alert import make_alert
+
+        a1 = make_alert("c", {"x": [Update("x", 3, 1.0)]})
+        a2 = make_alert("c", {"x": [Update("x", 3, 2.0)]})
+        assert checksum_histories(a1) == checksum_histories(a2)
+
+    def test_condname_included(self):
+        from repro.core.alert import make_alert
+
+        a1 = make_alert("a", {"x": [Update("x", 3)]})
+        a2 = make_alert("b", {"x": [Update("x", 3)]})
+        assert checksum_histories(a1) != checksum_histories(a2)
+
+
+class TestMinimumEncoding:
+    def test_known_algorithms(self):
+        assert minimum_encoding("AD-1") is AlertEncoding.CHECKSUM
+        assert minimum_encoding("AD-2") is AlertEncoding.HEADS
+        assert minimum_encoding("AD-3") is AlertEncoding.SEQNOS
+        assert minimum_encoding("AD-5") is AlertEncoding.HEADS
+        assert minimum_encoding("AD-6") is AlertEncoding.SEQNOS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            minimum_encoding("AD-9")
+
+
+@st.composite
+def alert_streams(draw):
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(2, 12), st.integers(1, 11)).filter(
+                lambda p: p[0] > p[1]
+            ),
+            max_size=20,
+        )
+    )
+    return [alert_deg2(a, b) for a, b in pairs]
+
+
+class TestChecksumAD1:
+    @given(alert_streams())
+    def test_identical_decisions_to_ad1(self, stream):
+        full = AD1()
+        digest = ChecksumAD1()
+        for alert in stream:
+            assert full.offer(alert) == digest.offer(alert)
+
+    def test_fresh(self):
+        ad = ChecksumAD1()
+        ad.offer(alert_deg1(1))
+        assert ad.fresh().offer(alert_deg1(1)) is True

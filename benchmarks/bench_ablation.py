@@ -13,6 +13,7 @@
 
 from benchmarks.conftest import save_result
 from repro.analysis.sweeps import loss_sweep, render_sweep, replication_sweep
+from repro.engine import TrialEngine
 from repro.workloads.scenarios import SINGLE_VARIABLE_SCENARIOS
 
 TRIALS = 60
@@ -25,12 +26,18 @@ def test_loss_ablation(benchmark):
     scenario = SINGLE_VARIABLE_SCENARIOS["aggressive"]
 
     def run():
-        return {
-            algorithm: loss_sweep(
-                scenario, algorithm, LOSS_GRID, trials=TRIALS, n_updates=N_UPDATES
-            )
-            for algorithm in ("AD-1", "AD-2", "AD-3", "AD-4")
-        }
+        with TrialEngine(processes="auto") as engine:
+            return {
+                algorithm: loss_sweep(
+                    scenario,
+                    algorithm,
+                    LOSS_GRID,
+                    trials=TRIALS,
+                    n_updates=N_UPDATES,
+                    engine=engine,
+                )
+                for algorithm in ("AD-1", "AD-2", "AD-3", "AD-4")
+            }
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
     text = "\n\n".join(
@@ -61,16 +68,18 @@ def test_replication_ablation(benchmark):
     scenario = SINGLE_VARIABLE_SCENARIOS["aggressive"]
 
     def run():
-        return {
-            algorithm: replication_sweep(
-                scenario,
-                algorithm,
-                REPLICATION_GRID,
-                trials=TRIALS,
-                n_updates=N_UPDATES,
-            )
-            for algorithm in ("AD-1", "AD-4")
-        }
+        with TrialEngine(processes="auto") as engine:
+            return {
+                algorithm: replication_sweep(
+                    scenario,
+                    algorithm,
+                    REPLICATION_GRID,
+                    trials=TRIALS,
+                    n_updates=N_UPDATES,
+                    engine=engine,
+                )
+                for algorithm in ("AD-1", "AD-4")
+            }
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
     text = "\n\n".join(

@@ -1,0 +1,205 @@
+"""Trial-engine throughput benchmark — legacy baseline vs. engine path.
+
+Times Table 3 (the multi-variable table, the most property-check-heavy
+workload in the repo) two ways on identical seeds:
+
+* **legacy**: sequential :func:`build_table` with the reference caches
+  disabled and the pre-DFS completeness backend restored via
+  :func:`legacy_completeness_backend` — the closest in-repo
+  reconstruction of the seed's algorithms.  (The seed's *constant
+  factors* — pre-``__slots__`` kernel events, per-ingest definedness
+  re-checks — cannot be reverted by a context manager, so this baseline
+  is conservative: measured against the actual seed commit the engine
+  speedup is larger.)
+* **engine**: :func:`build_table_parallel` through the persistent
+  :class:`TrialEngine` with memoized reference semantics and the pruned
+  completeness DFS.
+
+Both runs must produce *identical* :class:`PropertyTally` objects — the
+speedup is only meaningful if the statistics are bit-for-bit unchanged.
+
+Also times the engine at ``completeness_n_updates=8`` to document that
+the DFS lifts the old enumeration ceiling of 5 readings per variable
+while staying inside the legacy n=5 time budget.
+
+Run directly (writes ``BENCH_trials.json`` next to this file):
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+CI regression gate (reduced trials, compares per-trial seconds against
+the committed baseline, exits 1 on a >2x slowdown):
+
+    PYTHONPATH=src python benchmarks/bench_engine.py \
+        --trials 30 --check-against benchmarks/BENCH_trials.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.parallel import build_table_parallel
+from repro.analysis.tables import build_table
+from repro.core.reference import reference_caches_disabled
+from repro.props.report import legacy_completeness_backend
+
+TABLE_ID = "table3"
+N_UPDATES = 30
+# n=5 keeps the legacy enumeration backend tractable so the two paths
+# compare like for like; the ceiling-lift run uses n=8 on top.
+LEGACY_COMPLETENESS_N = 5
+LIFTED_COMPLETENESS_N = 8
+DEFAULT_TRIALS = 100
+DEFAULT_TOLERANCE = 2.0
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_trials.json"
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_benchmark(trials: int) -> dict:
+    kwargs = dict(
+        trials=trials,
+        n_updates=N_UPDATES,
+        completeness_trials=None,
+        completeness_n_updates=LEGACY_COMPLETENESS_N,
+    )
+
+    def legacy_build():
+        with legacy_completeness_backend(), reference_caches_disabled():
+            return build_table(TABLE_ID, **kwargs)
+
+    legacy, legacy_s = _time(legacy_build)
+    engine, engine_s = _time(
+        lambda: build_table_parallel(TABLE_ID, processes="auto", **kwargs)
+    )
+    if engine.tallies != legacy.tallies:
+        raise AssertionError(
+            "engine tallies diverge from the legacy baseline — the speedup "
+            "is void; investigate before trusting any timing"
+        )
+
+    _, lifted_s = _time(
+        lambda: build_table_parallel(
+            TABLE_ID,
+            processes="auto",
+            trials=trials,
+            n_updates=N_UPDATES,
+            completeness_trials=None,
+            completeness_n_updates=LIFTED_COMPLETENESS_N,
+        )
+    )
+
+    return {
+        "workload": {
+            "table": TABLE_ID,
+            "trials": trials,
+            "n_updates": N_UPDATES,
+            "completeness_n_updates": LEGACY_COMPLETENESS_N,
+            "lifted_completeness_n_updates": LIFTED_COMPLETENESS_N,
+        },
+        "timings": {
+            "legacy_s": round(legacy_s, 3),
+            "engine_s": round(engine_s, 3),
+            "engine_lifted_n8_s": round(lifted_s, 3),
+            "speedup_vs_legacy": round(legacy_s / engine_s, 2),
+            "legacy_per_trial_ms": round(1000 * legacy_s / trials, 3),
+            "engine_per_trial_ms": round(1000 * engine_s / trials, 3),
+        },
+        "tallies_identical": True,
+        "host": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+    }
+
+
+def check_regression(result: dict, baseline_path: Path, tolerance: float) -> bool:
+    """True iff the current per-trial engine time is within ``tolerance``x
+    of the committed baseline (trial counts may differ between runs)."""
+    baseline = json.loads(baseline_path.read_text())
+    committed = baseline["timings"]["engine_per_trial_ms"]
+    current = result["timings"]["engine_per_trial_ms"]
+    ratio = current / committed
+    print(
+        f"engine per-trial: {current:.3f} ms vs committed "
+        f"{committed:.3f} ms ({ratio:.2f}x, tolerance {tolerance:.1f}x)"
+    )
+    return ratio <= tolerance
+
+
+def test_engine_throughput(benchmark):
+    """Harness entry point: reduced-trials run with artifact output."""
+    from benchmarks.conftest import save_result
+
+    result = benchmark.pedantic(
+        lambda: run_benchmark(trials=30), rounds=1, iterations=1
+    )
+    timings = result["timings"]
+    save_result(
+        "engine_throughput",
+        f"{TABLE_ID} x 30 trials: legacy {timings['legacy_s']}s, "
+        f"engine {timings['engine_s']}s "
+        f"({timings['speedup_vs_legacy']}x vs in-repo legacy baseline; "
+        "the seed commit itself is slower still), "
+        f"engine @ n=8 completeness {timings['engine_lifted_n8_s']}s",
+    )
+    # Identical tallies are asserted inside run_benchmark; the ratio floor
+    # is deliberately loose — shared CI runners are noisy.
+    assert timings["speedup_vs_legacy"] >= 1.5
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=DEFAULT_TRIALS)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"write the result JSON here (default: {RESULT_PATH})",
+    )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        default=None,
+        help="committed BENCH_trials.json to gate against; exits 1 when the "
+        "per-trial engine time regresses beyond --tolerance",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+    if args.check_against is not None and not args.check_against.is_file():
+        # Validate before the (expensive) benchmark run, not after.
+        parser.error(f"baseline not found: {args.check_against}")
+
+    result = run_benchmark(args.trials)
+    timings = result["timings"]
+    print(
+        f"{TABLE_ID} x {args.trials} trials: "
+        f"legacy {timings['legacy_s']}s, engine {timings['engine_s']}s "
+        f"({timings['speedup_vs_legacy']}x), "
+        f"engine @ n=8 completeness {timings['engine_lifted_n8_s']}s"
+    )
+
+    if args.check_against is not None:
+        if not check_regression(result, args.check_against, args.tolerance):
+            print("FAIL: engine throughput regressed", file=sys.stderr)
+            return 1
+        print("OK: within tolerance")
+        return 0
+
+    output = args.output or RESULT_PATH
+    output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

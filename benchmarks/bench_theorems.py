@@ -10,21 +10,21 @@
 
 from benchmarks.conftest import save_result
 from repro.displayers import AD1
+from repro.engine import TrialEngine, TrialSpec
 from repro.props.report import PropertyTally
-from repro.workloads.scenarios import SINGLE_VARIABLE_SCENARIOS, run_scenario
+from repro.workloads.scenarios import SINGLE_VARIABLE_SCENARIOS
 from repro.workloads.traces import theorem_3_example, theorem_4_example
 
 TRIALS = 200
 N_UPDATES = 40
 
 
-def _sweep(row: str) -> PropertyTally:
-    tally = PropertyTally()
-    scenario = SINGLE_VARIABLE_SCENARIOS[row]
-    for trial in range(TRIALS):
-        run = run_scenario(scenario, "AD-1", 31000 + trial, n_updates=N_UPDATES)
-        tally.add(run.evaluate_properties(), seed=31000 + trial)
-    return tally
+def _sweep(row: str, engine: TrialEngine) -> PropertyTally:
+    specs = [
+        TrialSpec("single", row, "AD-1", 31000 + trial, N_UPDATES)
+        for trial in range(TRIALS)
+    ]
+    return engine.run_tally(specs)
 
 
 def _rate(violations: int, checked: int) -> str:
@@ -34,11 +34,11 @@ def _rate(violations: int, checked: int) -> str:
 
 
 def test_theorem_rates(benchmark):
-    tallies = benchmark.pedantic(
-        lambda: {row: _sweep(row) for row in SINGLE_VARIABLE_SCENARIOS},
-        rounds=1,
-        iterations=1,
-    )
+    def sweep_all():
+        with TrialEngine(processes="auto") as engine:
+            return {row: _sweep(row, engine) for row in SINGLE_VARIABLE_SCENARIOS}
+
+    tallies = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
     lines = [
         f"Violation rates under AD-1, {TRIALS} trials x {N_UPDATES} updates, loss=0.3",
         f"{'scenario':<16} {'unordered':>10} {'incomplete':>11} {'inconsistent':>13}",

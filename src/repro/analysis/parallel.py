@@ -1,68 +1,70 @@
 """Parallel trial execution for the randomized experiments.
 
 The table experiments run thousands of independent simulated trials —
-embarrassingly parallel work.  This module fans trials out over a
-``multiprocessing`` pool.  Scenarios hold lambdas (not picklable), so
-workers receive only ``(matrix, row, algorithm, seed, n_updates,
-replication)`` descriptors and re-resolve the scenario from the module
-matrices inside the worker process; results come back as
-:class:`~repro.props.report.PropertyReport` objects (plain picklable
+embarrassingly parallel work.  This module is the stable front door to
+:mod:`repro.engine`: ``run_trials`` maps legacy tuple descriptors over a
+:class:`~repro.engine.core.TrialEngine`, and ``build_table_parallel`` is
+a drop-in sibling of :func:`repro.analysis.tables.build_table` that plans
+the same trial matrix and fans it out.
+
+Scenarios hold lambdas (not picklable), so workers receive only
+``(matrix, row, algorithm, seed, n_updates, replication)`` descriptors
+and re-resolve the scenario inside the worker process; results come back
+as :class:`~repro.props.report.PropertyReport` objects (plain picklable
 dataclasses).
 
-``build_table_parallel`` is a drop-in sibling of
-:func:`repro.analysis.tables.build_table`; with ``processes=1`` it
-degrades to the sequential path (and is tested equivalent to it).
+With ``processes=1`` everything degrades to the inline sequential path
+(and is tested bit-identical to it); ``processes="auto"`` sizes the pool
+to the machine.
 """
 
 from __future__ import annotations
 
-import zlib
-from multiprocessing import Pool
-
-from repro.analysis.tables import TABLE_CONFIG, TableResult
-from repro.props.report import PropertyReport, PropertyTally
-from repro.workloads.scenarios import (
-    MULTI_VARIABLE_SCENARIOS,
-    ROW_ORDER,
-    SINGLE_VARIABLE_SCENARIOS,
-    run_scenario,
-)
+from repro.analysis.tables import TableResult
+from repro.engine.core import TrialEngine, resolve_processes
+from repro.engine.plan import plan_table, tabulate
+from repro.engine.spec import TrialSpec as _EngineSpec
+from repro.props.report import PropertyReport
 
 __all__ = ["run_trial", "run_trials", "build_table_parallel"]
 
-#: Worker task descriptor:
+#: Legacy worker task descriptor:
 #: (matrix_name, row, algorithm, seed, n_updates, replication)
 TrialSpec = tuple[str, str, str, int, int, int]
 
-_MATRICES = {
-    "single": SINGLE_VARIABLE_SCENARIOS,
-    "multi": MULTI_VARIABLE_SCENARIOS,
-}
+
+def _to_engine_spec(spec: TrialSpec) -> _EngineSpec:
+    matrix_name, row, algorithm, seed, n_updates, replication = spec
+    return _EngineSpec(
+        matrix_name, row, algorithm, seed, n_updates, replication
+    )
 
 
 def run_trial(spec: TrialSpec) -> tuple[int, PropertyReport]:
     """Execute one trial in a (possibly worker) process."""
-    matrix_name, row, algorithm, seed, n_updates, replication = spec
-    scenario = _MATRICES[matrix_name][row]
-    run = run_scenario(
-        scenario, algorithm, seed, n_updates=n_updates, replication=replication
-    )
-    return seed, run.evaluate_properties()
+    engine_spec = _to_engine_spec(spec)
+    return engine_spec.seed, engine_spec.execute()
 
 
 def run_trials(
-    specs: list[TrialSpec], processes: int = 1
+    specs: list[TrialSpec],
+    processes: int | str = 1,
+    chunksize: int | None = None,
 ) -> list[tuple[int, PropertyReport]]:
     """Run trial specs, optionally across a process pool.
 
     Results come back in spec order regardless of worker scheduling.
+    ``chunksize`` overrides the engine's bounded default (see
+    :func:`repro.engine.core.default_chunksize`); single-spec batches run
+    inline with a debug log rather than silently ignoring ``processes``.
     """
-    if processes < 1:
-        raise ValueError(f"processes must be >= 1, got {processes}")
-    if processes == 1 or len(specs) < 2:
-        return [run_trial(spec) for spec in specs]
-    with Pool(processes=processes) as pool:
-        return pool.map(run_trial, specs, chunksize=max(1, len(specs) // (4 * processes)))
+    resolve_processes(processes)  # validate eagerly, like the old API
+    engine_specs = [_to_engine_spec(spec) for spec in specs]
+    with TrialEngine(processes=processes, chunksize=chunksize) as engine:
+        reports = engine.run(engine_specs)
+    return [
+        (spec.seed, report) for spec, report in zip(engine_specs, reports)
+    ]
 
 
 def build_table_parallel(
@@ -71,39 +73,28 @@ def build_table_parallel(
     n_updates: int = 30,
     base_seed: int = 20010800,
     completeness_trials: int | None = None,
-    completeness_n_updates: int = 5,
-    processes: int = 1,
+    completeness_n_updates: int = 8,
+    processes: int | str = 1,
+    chunksize: int | None = None,
+    engine: TrialEngine | None = None,
 ) -> TableResult:
     """Parallel sibling of :func:`repro.analysis.tables.build_table`.
 
     Produces identical tallies for identical parameters (same seed
-    derivation), whatever ``processes`` is.
+    derivation via :func:`repro.engine.plan.plan_table`), whatever
+    ``processes`` is.  Pass an existing ``engine`` to reuse its worker
+    pool across several tables; otherwise a throwaway engine is created
+    with ``processes``/``chunksize``.
     """
-    algorithm, multi = TABLE_CONFIG[table_id]
-    matrix_name = "multi" if multi else "single"
-    if completeness_trials is None:
-        completeness_trials = trials if multi else 0
-
-    specs: list[TrialSpec] = []
-    spec_rows: list[tuple[str, int]] = []  # (row, seed) aligned with specs
-    for row in ROW_ORDER:
-        cell_offset = zlib.crc32(f"{table_id}/{row}".encode()) % 100_000
-        for trial in range(trials):
-            seed = base_seed + cell_offset + trial
-            specs.append((matrix_name, row, algorithm, seed, n_updates, 2))
-            spec_rows.append((row, seed))
-        for trial in range(completeness_trials):
-            seed = base_seed + 7_000_000 + cell_offset + trial
-            specs.append(
-                (matrix_name, row, algorithm, seed, completeness_n_updates, 2)
-            )
-            spec_rows.append((row, seed))
-
-    outcomes = run_trials(specs, processes=processes)
-
-    result = TableResult(table_id, algorithm, multi, trials)
-    tallies = {row: PropertyTally() for row in ROW_ORDER}
-    for (row, seed), (_, report) in zip(spec_rows, outcomes):
-        tallies[row].add(report, seed=seed)
-    result.tallies.update(tallies)
-    return result
+    plan = plan_table(
+        table_id,
+        trials=trials,
+        n_updates=n_updates,
+        base_seed=base_seed,
+        completeness_trials=completeness_trials,
+        completeness_n_updates=completeness_n_updates,
+    )
+    if engine is not None:
+        return tabulate(plan, engine.run(list(plan.specs)))
+    with TrialEngine(processes=processes, chunksize=chunksize) as own:
+        return tabulate(plan, own.run(list(plan.specs)))

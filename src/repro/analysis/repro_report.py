@@ -67,17 +67,20 @@ def _scaled(value: int, budget: float, minimum: int = 5) -> int:
 
 
 def generate_report(
-    budget: float = 1.0, base_seed: int = 20010800, processes: int = 1
+    budget: float = 1.0, base_seed: int = 20010800, processes: int | str = 1
 ) -> ReproductionReport:
     """Run every experiment at ``budget`` × the default trial counts.
 
-    ``processes > 1`` fans the table trials out over a multiprocessing
-    pool (identical results, wall-clock divided).
+    ``processes > 1`` (or ``"auto"``) fans the table trials out over one
+    persistent :class:`~repro.engine.core.TrialEngine` — the same worker
+    pool serves all seven tables — with identical results, wall-clock
+    divided.
     """
+    from repro.engine import resolve_processes
+
     if budget <= 0:
         raise ValueError("budget must be positive")
-    if processes < 1:
-        raise ValueError("processes must be >= 1")
+    worker_count = resolve_processes(processes)
     report = ReproductionReport()
 
     # Property tables.
@@ -87,32 +90,41 @@ def generate_report(
     # the rarest events in the suite; keep a healthy floor even at tiny
     # budgets so the report doesn't flake.
     completeness_trials = _scaled(120, budget, minimum=40)
-    for table_id in EXPECTED_GRIDS:
-        start = time.perf_counter()
-        multi = table_id in ("table3", "ad6", "ad1-multi")
-        table_kwargs = dict(
-            trials=multi_trials if multi else single_trials,
-            n_updates=20 if multi else 40,
-            base_seed=base_seed,
-            completeness_trials=completeness_trials if multi else 0,
-            completeness_n_updates=6,
-        )
-        if processes > 1:
-            from repro.analysis.parallel import build_table_parallel
+    engine = None
+    if worker_count > 1:
+        from repro.engine import TrialEngine
 
-            result = build_table_parallel(
-                table_id, processes=processes, **table_kwargs
+        engine = TrialEngine(processes=worker_count)
+    try:
+        for table_id in EXPECTED_GRIDS:
+            start = time.perf_counter()
+            multi = table_id in ("table3", "ad6", "ad1-multi")
+            table_kwargs = dict(
+                trials=multi_trials if multi else single_trials,
+                n_updates=20 if multi else 40,
+                base_seed=base_seed,
+                completeness_trials=completeness_trials if multi else 0,
+                completeness_n_updates=8,
             )
-        else:
-            result = build_table(table_id, **table_kwargs)
-        report.sections.append(
-            SectionResult(
-                name=f"Property grid: {table_id}",
-                passed=result.matches_paper(),
-                body=render_table(result),
-                seconds=time.perf_counter() - start,
+            if engine is not None:
+                from repro.analysis.parallel import build_table_parallel
+
+                result = build_table_parallel(
+                    table_id, engine=engine, **table_kwargs
+                )
+            else:
+                result = build_table(table_id, **table_kwargs)
+            report.sections.append(
+                SectionResult(
+                    name=f"Property grid: {table_id}",
+                    passed=result.matches_paper(),
+                    body=render_table(result),
+                    seconds=time.perf_counter() - start,
+                )
             )
-        )
+    finally:
+        if engine is not None:
+            engine.close()
 
     # Domination (Theorems 6 and 8).
     start = time.perf_counter()

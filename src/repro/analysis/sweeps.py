@@ -12,9 +12,13 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.props.report import PropertyTally
 from repro.workloads.scenarios import Scenario, run_scenario
+
+if TYPE_CHECKING:
+    from repro.engine.core import TrialEngine
 
 __all__ = ["SweepPoint", "loss_sweep", "replication_sweep", "render_sweep"]
 
@@ -53,6 +57,21 @@ class SweepPoint:
         )
 
 
+def _registry_coordinates(scenario: Scenario) -> tuple[str, str] | None:
+    """The (matrix, row) naming ``scenario`` in the module matrices, if any.
+
+    Sweep points can only fan out through the trial engine when workers
+    can re-resolve the scenario by name; ad-hoc Scenario objects fall back
+    to the inline loop.
+    """
+    from repro.engine.spec import SCENARIO_MATRICES
+
+    for matrix, scenarios in SCENARIO_MATRICES.items():
+        if scenarios.get(scenario.key) is scenario:
+            return matrix, scenario.key
+    return None
+
+
 def _sweep_tally(
     scenario: Scenario,
     algorithm: str,
@@ -60,7 +79,31 @@ def _sweep_tally(
     n_updates: int,
     base_seed: int,
     replication: int = 2,
+    front_loss: float | None = None,
+    engine: "TrialEngine | None" = None,
 ) -> PropertyTally:
+    coordinates = _registry_coordinates(scenario) if engine is not None else None
+    if coordinates is not None:
+        from repro.engine.spec import TrialSpec
+
+        matrix, row = coordinates
+        specs = [
+            TrialSpec(
+                matrix,
+                row,
+                algorithm,
+                base_seed + trial,
+                n_updates,
+                replication=replication,
+                front_loss=front_loss,
+            )
+            for trial in range(trials)
+        ]
+        return engine.run_tally(specs)
+    if front_loss is not None:
+        from dataclasses import replace
+
+        scenario = replace(scenario, front_loss=front_loss)
     tally = PropertyTally()
     for trial in range(trials):
         run = run_scenario(
@@ -81,19 +124,24 @@ def loss_sweep(
     trials: int = 60,
     n_updates: int = 30,
     base_seed: int = 515000,
+    engine: "TrialEngine | None" = None,
 ) -> list[SweepPoint]:
     """Violation rates vs front-link loss probability.
 
-    The scenario's own loss setting is overridden at each sweep point via
-    a shallow copy.
+    The scenario's own loss setting is overridden at each sweep point
+    (via the ``front_loss`` spec override when an ``engine`` is given and
+    the scenario is a registry row, else via a shallow copy).
     """
-    from dataclasses import replace
-
     points = []
     for loss in loss_probs:
-        varied = replace(scenario, front_loss=loss)
         tally = _sweep_tally(
-            varied, algorithm, trials, n_updates, base_seed + int(loss * 10_000)
+            scenario,
+            algorithm,
+            trials,
+            n_updates,
+            base_seed + int(loss * 10_000),
+            front_loss=loss,
+            engine=engine,
         )
         points.append(SweepPoint.from_tally("front_loss", loss, algorithm, tally))
     return points
@@ -106,6 +154,7 @@ def replication_sweep(
     trials: int = 60,
     n_updates: int = 30,
     base_seed: int = 525000,
+    engine: "TrialEngine | None" = None,
 ) -> list[SweepPoint]:
     """Violation rates vs number of CEs.
 
@@ -124,6 +173,7 @@ def replication_sweep(
             n_updates,
             base_seed + replication * 97,
             replication=replication,
+            engine=engine,
         )
         points.append(
             SweepPoint.from_tally("replication", replication, algorithm, tally)

@@ -39,28 +39,36 @@ __all__ = ["main"]
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.engine import TrialEngine, resolve_processes
+
     table_ids = args.tables or list(EXPECTED_GRIDS)
     all_ok = True
-    for table_id in table_ids:
-        if table_id not in EXPECTED_GRIDS:
-            print(f"unknown table {table_id!r}; known: {list(EXPECTED_GRIDS)}")
-            return 2
-        kwargs = {}
-        if args.trials:
-            kwargs["trials"] = args.trials
-        if args.updates:
-            kwargs["n_updates"] = args.updates
-        if args.processes > 1:
-            from repro.analysis.parallel import build_table_parallel
+    # One persistent engine serves every requested table: the worker pool
+    # (and each worker's warmed imports) is reused across grids.
+    with TrialEngine(processes=args.processes) as engine:
+        parallel = resolve_processes(args.processes) > 1
+        for table_id in table_ids:
+            if table_id not in EXPECTED_GRIDS:
+                print(
+                    f"unknown table {table_id!r}; known: {list(EXPECTED_GRIDS)}"
+                )
+                return 2
+            kwargs = {}
+            if args.trials:
+                kwargs["trials"] = args.trials
+            if args.updates:
+                kwargs["n_updates"] = args.updates
+            if parallel:
+                from repro.analysis.parallel import build_table_parallel
 
-            result = build_table_parallel(
-                table_id, processes=args.processes, **kwargs
-            )
-        else:
-            result = build_table(table_id, **kwargs)
-        print(render_table(result))
-        print()
-        all_ok = all_ok and result.matches_paper()
+                result = build_table_parallel(
+                    table_id, engine=engine, **kwargs
+                )
+            else:
+                result = build_table(table_id, **kwargs)
+            print(render_table(result))
+            print()
+            all_ok = all_ok and result.matches_paper()
     print(f"overall paper agreement: {'YES' if all_ok else 'NO'}")
     return 0 if all_ok else 1
 
@@ -197,6 +205,21 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _processes_arg(value: str) -> int | str:
+    """argparse type for ``--processes``: a positive int or 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"processes must be >= 1, got {count}")
+    return count
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -210,9 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--updates", type=int, default=None)
     p_tables.add_argument(
         "--processes",
-        type=int,
+        type=_processes_arg,
         default=1,
-        help="fan trials out over N worker processes",
+        help="fan trials out over N worker processes ('auto' = CPU count)",
     )
     p_tables.set_defaults(func=_cmd_tables)
 
@@ -277,9 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "--processes",
-        type=int,
+        type=_processes_arg,
         default=1,
-        help="fan table trials out over N worker processes",
+        help="fan table trials out over N worker processes ('auto' = CPU count)",
     )
     p_report.set_defaults(func=_cmd_report)
 

@@ -115,18 +115,30 @@ class Condition(ABC):
         return self._evaluate(histories)
 
     def _histories_consecutive(self, histories: HistorySet | HistorySnapshot) -> bool:
-        for var in self.variables:
-            if isinstance(histories, HistorySnapshot):
-                updates = histories[var]
-            else:
-                updates = histories[var].snapshot()
-            if not history_is_consecutive(updates):
-                return False
-        return True
+        if isinstance(histories, HistorySnapshot):
+            return all(
+                history_is_consecutive(histories[var]) for var in self.variables
+            )
+        # Live history sets check their ring buffers directly, avoiding a
+        # snapshot tuple per evaluation on the simulation hot path.
+        return all(histories[var].is_consecutive() for var in self.variables)
 
     @abstractmethod
     def _evaluate(self, histories: HistorySet | HistorySnapshot) -> bool:
         """Evaluate the underlying predicate (gap-guard already applied)."""
+
+    # -- caching -------------------------------------------------------------
+    def cache_key(self) -> tuple | None:
+        """A content key identifying this condition's *semantics*, or None.
+
+        Two conditions with equal cache keys must evaluate identically on
+        every history set; the reference-semantics cache in
+        :mod:`repro.core.reference` uses this to share ``T(U)`` results
+        across trials that rebuild structurally identical conditions.
+        Conditions whose semantics cannot be fingerprinted (opaque
+        predicates) return None and bypass the cache.
+        """
+        return None
 
     # -- derivation ----------------------------------------------------------
     def as_conservative(self, name: str | None = None) -> "Condition":
@@ -162,6 +174,12 @@ class ExpressionCondition(Condition):
 
     def _evaluate(self, histories: HistorySet | HistorySnapshot) -> bool:
         return bool(self.expression.evaluate(histories))
+
+    def cache_key(self) -> tuple | None:
+        # The AST repr is a faithful, deterministic rendering of the
+        # expression (including literal constants), so together with the
+        # gap-guard flag it pins down the condition's semantics.
+        return ("expr", self.name, repr(self.expression), self._conservative)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Condition {self.name}: {self.expression!r}>"
@@ -202,6 +220,12 @@ class _ConservativeWrapper(Condition):
         # predicate without re-applying the inner condition's own guard
         # semantics (the guard is idempotent anyway).
         return self._inner._evaluate(histories)
+
+    def cache_key(self) -> tuple | None:
+        inner = self._inner.cache_key()
+        if inner is None:
+            return None
+        return ("conservative", self.name, inner)
 
 
 def conservative_guard(*varnames: str) -> BoolExpr:

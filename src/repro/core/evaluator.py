@@ -48,6 +48,9 @@ class ConditionEvaluator:
         self.histories = HistorySet(condition.degrees)
         self._received: list[Update] = []
         self._alerts: list[Alert] = []
+        # H can only gain entries, so once defined it stays defined; cache
+        # the transition to skip the per-variable check on every ingest.
+        self._defined = False
 
     # -- inspection ----------------------------------------------------------
     @property
@@ -73,14 +76,17 @@ class ConditionEvaluator:
         ignored entirely (not recorded in ``received``): the CE would not
         have subscribed to those DMs.
         """
-        if update.varname not in self.histories:
+        history = self.histories.history_for(update.varname)
+        if history is None:
             return None
-        self.histories.push(update)
+        history.push(update)
         self._received.append(update)
-        if not self.histories.is_defined:
-            # H is undefined while fewer than `degree` updates have arrived
-            # (§2): the condition cannot be evaluated yet.
-            return None
+        if not self._defined:
+            if not self.histories.is_defined:
+                # H is undefined while fewer than `degree` updates have
+                # arrived (§2): the condition cannot be evaluated yet.
+                return None
+            self._defined = True
         if not self.condition.evaluate(self.histories):
             return None
         alert = Alert(self.condition.name, self.histories.snapshot(), self.source)
@@ -101,6 +107,7 @@ class ConditionEvaluator:
         self.histories = HistorySet(self.condition.degrees)
         self._received.clear()
         self._alerts.clear()
+        self._defined = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.source or "CE"

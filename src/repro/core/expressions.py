@@ -181,10 +181,11 @@ class FieldRef(Expr):
         self.varname = varname
         self.index = index
         self.fieldname = fieldname
+        self._get_field = operator.attrgetter(fieldname)
 
     def evaluate(self, histories: HistorySet | HistorySnapshot) -> float:
         update = _resolve(histories, self.varname, self.index)
-        return float(getattr(update, self.fieldname))
+        return float(self._get_field(update))
 
     def _collect_degrees(self, acc: dict[str, int]) -> None:
         needed = -self.index + 1
@@ -259,11 +260,12 @@ class BinOp(Expr):
         if op not in self._OPS:
             raise ValueError(f"unknown arithmetic operator {op!r}")
         self.op = op
+        self._fn = self._OPS[op]
         self.left = left
         self.right = right
 
     def evaluate(self, histories: HistorySet | HistorySnapshot) -> float:
-        return self._OPS[self.op](
+        return self._fn(
             self.left.evaluate(histories), self.right.evaluate(histories)
         )
 
@@ -371,11 +373,12 @@ class Compare(BoolExpr):
         if op not in self._OPS:
             raise ValueError(f"unknown comparison operator {op!r}")
         self.op = op
+        self._fn = self._OPS[op]
         self.left = left
         self.right = right
 
     def evaluate(self, histories: HistorySet | HistorySnapshot) -> bool:
-        return self._OPS[self.op](
+        return self._fn(
             self.left.evaluate(histories), self.right.evaluate(histories)
         )
 

@@ -72,19 +72,33 @@ class UpdateHistory:
     def __getitem__(self, index: int) -> Update:
         if index > 0:
             raise IndexError("history indices are 0 or negative (Hx[0], Hx[-1], ...)")
-        if not self.is_defined:
+        buffer = self._buffer
+        if len(buffer) != self.degree:
             raise LookupError(
-                f"H{self.varname} is undefined: {len(self._buffer)} of "
+                f"H{self.varname} is undefined: {len(buffer)} of "
                 f"{self.degree} updates received"
             )
-        offset = -index
-        return self._buffer[offset]
+        return buffer[-index]
 
     def snapshot(self) -> tuple[Update, ...]:
         """The current contents, most recent first (undefined → LookupError)."""
         if not self.is_defined:
             raise LookupError(f"H{self.varname} is undefined")
         return tuple(self._buffer)
+
+    def is_consecutive(self) -> bool:
+        """True iff the buffered seqnos are consecutive, most recent first.
+
+        Equivalent to ``history_is_consecutive(self.snapshot())`` without
+        materialising the snapshot tuple — this runs inside every
+        conservative-condition evaluation.
+        """
+        previous = None
+        for update in self._buffer:
+            if previous is not None and previous != update.seqno + 1:
+                return False
+            previous = update.seqno
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(u.shorthand(False) for u in self._buffer)
@@ -116,6 +130,10 @@ class HistorySet:
     def __contains__(self, varname: str) -> bool:
         return varname in self._histories
 
+    def history_for(self, varname: str) -> UpdateHistory | None:
+        """The history for ``varname``, or None when the variable ∉ V."""
+        return self._histories.get(varname)
+
     def push(self, update: Update) -> None:
         """Route an update into the history of its variable.
 
@@ -128,7 +146,9 @@ class HistorySet:
             history.push(update)
 
     def snapshot(self) -> "HistorySnapshot":
-        return HistorySnapshot(
+        # The per-variable deques enforce ordering on push, so the frozen
+        # copy can skip HistorySnapshot's re-validation.
+        return HistorySnapshot.from_trusted(
             {var: h.snapshot() for var, h in self._histories.items()}
         )
 
@@ -159,6 +179,23 @@ class HistorySnapshot:
                         f"history snapshot for {var!r} not in most-recent-first "
                         f"order: {seqnos}"
                     )
+
+    @classmethod
+    def from_trusted(
+        cls, entries: Mapping[str, tuple[Update, ...]]
+    ) -> "HistorySnapshot":
+        """Build a snapshot from entries already known to be valid.
+
+        Skips the per-variable ordering validation of ``__post_init__``;
+        callers must guarantee non-empty, most-recent-first runs (as the
+        ring buffers in :class:`UpdateHistory` do by construction).  This
+        is the hot-path constructor: one snapshot is frozen per emitted
+        alert, and the pruned completeness search builds snapshots per
+        explored prefix state.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "_entries", dict(sorted(entries.items())))
+        return self
 
     @property
     def variables(self) -> tuple[str, ...]:

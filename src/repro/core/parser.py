@@ -113,13 +113,15 @@ def _translate_numeric(node: ast.AST) -> Expr:
             raise _fail(node, "unsupported arithmetic operator")
         return BinOp(op, _translate_numeric(node.left), _translate_numeric(node.right))
     if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
-        # Fold negative literals into constants (so "-5" round-trips as a
-        # literal rather than a Neg node); keep Neg for everything else.
-        if isinstance(node.operand, ast.Constant) and isinstance(
-            node.operand.value, (int, float)
-        ) and not isinstance(node.operand.value, bool):
-            return Const(-float(node.operand.value))
-        return Neg(_translate_numeric(node.operand))
+        # Fold negation of constants into constants (so "-5" — and nested
+        # shapes like "-(-5)" — round-trip as literals rather than Neg
+        # nodes); keep Neg for everything else.  Folding the *translated*
+        # operand rather than the syntactic literal makes one parse/render
+        # round a normalisation fixpoint.
+        operand = _translate_numeric(node.operand)
+        if isinstance(operand, Const):
+            return Const(-operand.value)
+        return Neg(operand)
     if (
         isinstance(node, ast.Call)
         and isinstance(node.func, ast.Name)

@@ -1,0 +1,61 @@
+"""Picklable trial descriptors.
+
+Scenarios hold lambdas (condition/workload factories), so they cannot
+cross a process boundary.  A :class:`TrialSpec` instead names the
+scenario by ``(matrix, row)`` and re-resolves it from the module matrices
+inside whichever process executes the trial, carrying only plain values —
+plus the two overrides the parameter sweeps need (``front_loss`` and
+``replication``), so sweep points fan out through the same engine as the
+table grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.props.report import PropertyReport
+from repro.workloads.scenarios import (
+    MULTI_VARIABLE_SCENARIOS,
+    SINGLE_VARIABLE_SCENARIOS,
+    Scenario,
+    run_scenario,
+)
+
+__all__ = ["TrialSpec", "SCENARIO_MATRICES"]
+
+#: The resolvable scenario matrices, by TrialSpec.matrix name.
+SCENARIO_MATRICES = {
+    "single": SINGLE_VARIABLE_SCENARIOS,
+    "multi": MULTI_VARIABLE_SCENARIOS,
+}
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One randomized trial: scenario row × algorithm × seed × knobs."""
+
+    matrix: str
+    row: str
+    algorithm: str
+    seed: int
+    n_updates: int
+    replication: int = 2
+    #: Sweep override: replaces the scenario's own front-link loss rate.
+    front_loss: float | None = None
+
+    def resolve_scenario(self) -> Scenario:
+        scenario = SCENARIO_MATRICES[self.matrix][self.row]
+        if self.front_loss is not None:
+            scenario = replace(scenario, front_loss=self.front_loss)
+        return scenario
+
+    def execute(self) -> PropertyReport:
+        """Run the trial and decide its properties (in any process)."""
+        run = run_scenario(
+            self.resolve_scenario(),
+            self.algorithm,
+            self.seed,
+            n_updates=self.n_updates,
+            replication=self.replication,
+        )
+        return run.evaluate_properties()

@@ -5,6 +5,7 @@ from repro.props.completeness import (
     CompletenessResult,
     check_completeness,
     check_completeness_multi,
+    check_completeness_multi_enumerated,
     check_completeness_single,
 )
 from repro.props.consistency import (
@@ -32,7 +33,12 @@ from repro.props.orderedness import (
     check_orderedness,
     is_alert_sequence_ordered,
 )
-from repro.props.report import PropertyReport, PropertyTally, evaluate_run
+from repro.props.report import (
+    PropertyReport,
+    PropertyTally,
+    evaluate_run,
+    legacy_completeness_backend,
+)
 from repro.props.statespace import (
     VerificationResult,
     degree2_alphabet,
@@ -60,7 +66,9 @@ __all__ = [
     "build_precedence_graph",
     "check_completeness",
     "check_completeness_multi",
+    "check_completeness_multi_enumerated",
     "check_completeness_single",
+    "legacy_completeness_backend",
     "check_consistency_bruteforce",
     "check_consistency_multi",
     "check_consistency_single",

@@ -13,9 +13,22 @@ some interleaving realises exactly its alert set.  (For a single
 variable there is exactly one interleaving, U1 ⊔ U2, so the definitions
 coincide.)
 
-The multi-variable decision enumerates interleavings and is exponential;
-:func:`check_completeness_multi` therefore takes a hard ``limit`` and the
-table benchmarks use deliberately short traces.
+The multi-variable decision is implemented two ways:
+
+* :func:`check_completeness_multi` — a memoized DFS over interleaving
+  *prefixes*.  Two prefixes that have consumed the same per-variable
+  positions leave the reference evaluator in the same state (its history
+  windows are determined by the positions alone), so states are keyed on
+  ``(positions, produced-alert-identity set)``; any prefix whose produced
+  identities already exceed ΦA is pruned (alerts are never retracted, so
+  the final set can only grow); and the search exits on the first
+  witness.  Exact same verdicts as exhaustive enumeration, exponentially
+  smaller search on typical traces.  ``limit`` bounds the number of
+  explored states — when exceeded the result carries ``undecided=True``
+  instead of guessing (or raising).
+* :func:`check_completeness_multi_enumerated` — the blind interleaving
+  enumeration the DFS replaced.  Kept as the cross-validation oracle and
+  as the benchmark baseline; exponential, so only usable on short traces.
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ from dataclasses import dataclass, field
 
 from repro.core.alert import Alert, alert_identity_set
 from repro.core.condition import Condition
+from repro.core.history import HistorySnapshot
 from repro.core.reference import (
     apply_T,
     combine_received,
@@ -37,6 +51,7 @@ __all__ = [
     "CompletenessResult",
     "check_completeness_single",
     "check_completeness_multi",
+    "check_completeness_multi_enumerated",
     "check_completeness",
 ]
 
@@ -47,8 +62,15 @@ class CompletenessResult:
 
     ``missing`` are alert identities T(U1⊔U2) produces but A lacks;
     ``extraneous`` are identities in A that the reference never produces.
-    For the multi-variable case the sets are relative to the *closest*
-    interleaving examined (the one minimising the symmetric difference).
+    For the multi-variable case the sets are relative to the *canonical*
+    interleaving (each variable's run appended whole, in variable order) —
+    a fixed, cheap reference point; the search itself proves that no
+    interleaving matches exactly.
+
+    ``undecided=True`` marks a multi-variable check that exhausted its
+    state budget before finding a witness or exhausting the search space;
+    the verdict must then be treated as unknown, not as a violation
+    (:class:`~repro.props.report.PropertyTally` skips undecided results).
     """
 
     complete: bool
@@ -58,6 +80,8 @@ class CompletenessResult:
     witness_interleaving: tuple[Update, ...] | None = field(
         default=None, compare=False
     )
+    #: True when the state budget ran out before the search concluded.
+    undecided: bool = False
 
     def __bool__(self) -> bool:
         return self.complete
@@ -82,6 +106,30 @@ def check_completeness_single(
     )
 
 
+def _canonical_interleaving(
+    variables: Sequence[str], per_variable: dict[str, Sequence[Update]]
+) -> list[Update]:
+    """Each variable's run appended whole, in the given variable order —
+    the first interleaving :func:`repro.core.reference.interleavings`
+    yields, used as the fixed reference point for failure diagnostics."""
+    canonical: list[Update] = []
+    for var in variables:
+        canonical.extend(per_variable[var])
+    return canonical
+
+
+def _failure_diagnostics(
+    actual: frozenset[tuple],
+    condition: Condition,
+    variables: Sequence[str],
+    per_variable: dict[str, Sequence[Update]],
+) -> tuple[frozenset[tuple], frozenset[tuple]]:
+    expected = alert_identity_set(
+        apply_T(condition, _canonical_interleaving(variables, per_variable))
+    )
+    return frozenset(expected - actual), frozenset(actual - expected)
+
+
 def check_completeness_multi(
     alerts: Sequence[Alert],
     condition: Condition,
@@ -90,20 +138,176 @@ def check_completeness_multi(
 ) -> CompletenessResult:
     """Multi-variable completeness: ∃ interleaving UV with ΦA = ΦT(UV).
 
-    Exhaustive over interleavings of the per-variable ordered unions.
+    Memoized DFS over interleaving prefixes (see module docstring).  The
+    reference evaluator's state after a prefix is a pure function of the
+    per-variable positions — each history window is the last ``degree``
+    updates of that variable's fixed run — so the search space collapses
+    from multinomially many interleavings to at most
+    ``∏(len+1) × |reachable produced-sets|`` states.
+
+    ``limit`` bounds explored states; exceeding it yields
+    ``undecided=True`` rather than a guess.
+    """
+    actual = alert_identity_set(alerts)
+    degrees = condition.degrees
+    # Variables the evaluator would ignore contribute nothing to T(UV) and
+    # may be interleaved anywhere — drop them from the search.  Empty runs
+    # are dropped too (no moves to make).
+    variables = [
+        var
+        for var, seq in per_variable_updates.items()
+        if var in degrees and len(seq) > 0
+    ]
+    sequences = {var: list(per_variable_updates[var]) for var in variables}
+
+    # A variable of the condition with fewer updates than its degree keeps
+    # H undefined forever: T produces no alerts on any interleaving.
+    producible = all(
+        len(sequences.get(var, ())) >= degree for var, degree in degrees.items()
+    )
+    if not producible:
+        if not actual:
+            return CompletenessResult(
+                True,
+                witness_interleaving=tuple(
+                    _canonical_interleaving(variables, sequences)
+                ),
+            )
+        missing, extraneous = _failure_diagnostics(
+            actual, condition, variables, sequences
+        )
+        return CompletenessResult(False, missing=missing, extraneous=extraneous)
+
+    # Rolling history windows: windows[var][p] is H_var (most recent
+    # first) after consuming the first p updates of var's run.
+    windows: dict[str, list[tuple[Update, ...] | None]] = {}
+    for var in variables:
+        degree = degrees[var]
+        run = sequences[var]
+        per_pos: list[tuple[Update, ...] | None] = [None] * (len(run) + 1)
+        for pos in range(degree, len(run) + 1):
+            per_pos[pos] = tuple(reversed(run[pos - degree : pos]))
+        windows[var] = per_pos
+
+    # Produced identities are tracked as bitmasks over ΦA (pruning keeps
+    # produced ⊆ ΦA, so nothing outside ΦA ever needs a bit).
+    bit_of = {identity: 1 << i for i, identity in enumerate(sorted(actual))}
+    full_mask = (1 << len(actual)) - 1
+
+    lengths = [len(sequences[var]) for var in variables]
+    n_vars = len(variables)
+    evaluate = condition.evaluate
+    condname = condition.name
+
+    # identity-or-None of the alert triggered by the update that *moved
+    # the search into* this position vector; the triggering variable does
+    # not matter because the evaluator sees the same windows either way.
+    eval_cache: dict[tuple[int, ...], tuple | None] = {}
+
+    def produced_at(positions: tuple[int, ...]) -> tuple | None:
+        cached = eval_cache.get(positions, _UNEVALUATED)
+        if cached is not _UNEVALUATED:
+            return cached
+        entries = {}
+        defined = True
+        for index, var in enumerate(variables):
+            window = windows[var][positions[index]]
+            if window is None:
+                defined = False
+                break
+            entries[var] = window
+        identity: tuple | None = None
+        if defined:
+            snapshot = HistorySnapshot.from_trusted(entries)
+            if evaluate(snapshot):
+                identity = (condname, snapshot.identity())
+        eval_cache[positions] = identity
+        return identity
+
+    failed: set[tuple[tuple[int, ...], int]] = set()
+    witness: list[Update] = []
+    states = 0
+
+    class _BudgetExceeded(Exception):
+        pass
+
+    def search(positions: tuple[int, ...], produced: int) -> bool:
+        nonlocal states
+        if produced == full_mask and all(
+            positions[i] == lengths[i] for i in range(n_vars)
+        ):
+            return True
+        key = (positions, produced)
+        if key in failed:
+            return False
+        states += 1
+        if states > limit:
+            raise _BudgetExceeded
+        for index in range(n_vars):
+            position = positions[index]
+            if position == lengths[index]:
+                continue
+            advanced = (
+                positions[:index] + (position + 1,) + positions[index + 1 :]
+            )
+            identity = produced_at(advanced)
+            if identity is None:
+                next_produced = produced
+            else:
+                bit = bit_of.get(identity)
+                if bit is None:
+                    # Produced an alert outside ΦA: the final set can only
+                    # grow, so no extension of this prefix can match.
+                    continue
+                next_produced = produced | bit
+            if search(advanced, next_produced):
+                witness.append(sequences[variables[index]][position])
+                return True
+        failed.add(key)
+        return False
+
+    try:
+        found = search(tuple([0] * n_vars), 0)
+    except _BudgetExceeded:
+        missing, extraneous = _failure_diagnostics(
+            actual, condition, variables, sequences
+        )
+        return CompletenessResult(
+            False, missing=missing, extraneous=extraneous, undecided=True
+        )
+    if found:
+        witness.reverse()
+        return CompletenessResult(True, witness_interleaving=tuple(witness))
+    missing, extraneous = _failure_diagnostics(
+        actual, condition, variables, sequences
+    )
+    return CompletenessResult(False, missing=missing, extraneous=extraneous)
+
+
+_UNEVALUATED = object()
+
+
+def check_completeness_multi_enumerated(
+    alerts: Sequence[Alert],
+    condition: Condition,
+    per_variable_updates: dict[str, Sequence[Update]],
+    limit: int = 500_000,
+) -> CompletenessResult:
+    """Exhaustive-enumeration oracle for multi-variable completeness.
+
+    The implementation :func:`check_completeness_multi` replaced; kept
+    for cross-validating the pruned search and as the benchmark baseline.
     Raises RuntimeError when the interleaving count exceeds ``limit``
-    rather than guessing.
+    rather than guessing.  Failure diagnostics use the same canonical
+    interleaving as the DFS so the two backends are result-identical.
     """
     total = count_interleavings(per_variable_updates)
     if total > limit:
         raise RuntimeError(
             f"{total} interleavings exceed limit={limit}; shorten the traces "
-            "for exact multi-variable completeness checking"
+            "for exhaustive multi-variable completeness checking"
         )
     actual = alert_identity_set(alerts)
-    best_missing: frozenset[tuple] = frozenset()
-    best_extraneous: frozenset[tuple] = frozenset()
-    best_score: int | None = None
     for candidate in interleavings(
         {var: list(seq) for var, seq in per_variable_updates.items()}
     ):
@@ -112,14 +316,16 @@ def check_completeness_multi(
             return CompletenessResult(
                 True, witness_interleaving=tuple(candidate)
             )
-        missing = frozenset(expected - actual)
-        extraneous = frozenset(actual - expected)
-        score = len(missing) + len(extraneous)
-        if best_score is None or score < best_score:
-            best_score = score
-            best_missing = missing
-            best_extraneous = extraneous
-    return CompletenessResult(False, missing=best_missing, extraneous=best_extraneous)
+    variables = [
+        var for var, seq in per_variable_updates.items() if len(seq) > 0
+    ]
+    missing, extraneous = _failure_diagnostics(
+        actual,
+        condition,
+        variables,
+        {var: list(per_variable_updates[var]) for var in variables},
+    )
+    return CompletenessResult(False, missing=missing, extraneous=extraneous)
 
 
 def check_completeness(

@@ -20,14 +20,18 @@ Three checkers, in increasing generality and cost:
   construction from the proof of Lemma 5: alert a with seqnos (sx, sy, …)
   is in T(UV) iff sx precedes (sy+1) of y, etc.; A is consistent iff the
   constraint graph (plus per-variable chains) is acyclic.
-* :func:`check_consistency_bruteforce` — exact for everything, exponential;
-  enumerates candidate U′ sequences.  Used to cross-validate the fast
-  checkers on small instances and to decide historical multi-variable
-  cases.
+* :func:`check_consistency_bruteforce` — exact for everything; a memoized
+  DFS over prefixes of candidate U′ sequences (at each step a variable's
+  next update is either *taken* into U′ or *skipped*), keyed on
+  (per-variable positions, history windows of taken updates, covered
+  target identities) with an early exit as soon as every displayed alert
+  is covered.  Used to cross-validate the fast checkers and to decide
+  historical multi-variable cases; ``limit`` bounds explored states.
 """
 
 from __future__ import annotations
 
+import bisect
 import itertools
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
@@ -36,7 +40,7 @@ import networkx as nx
 
 from repro.core.alert import Alert, alert_identity_set
 from repro.core.condition import Condition
-from repro.core.reference import apply_T, interleavings
+from repro.core.history import HistorySnapshot
 from repro.core.sequences import spanning_set
 from repro.core.update import Update
 
@@ -201,42 +205,74 @@ def check_consistency_multi(
                 ),
             )
 
-    graph = nx.DiGraph()
+    # Plain-dict adjacency + Kahn's algorithm: this check runs once per
+    # trial in the table benchmarks, and building a networkx.DiGraph per
+    # run dominated its cost (build_precedence_graph still returns one
+    # for callers that want the graph itself).
+    successors: dict[tuple[str, int], list[tuple[str, int]]] = {}
+    indegree: dict[tuple[str, int], int] = {}
     sorted_required = {var: sorted(required[var]) for var in variables}
+
+    def add_edge(src: tuple[str, int], dst: tuple[str, int]) -> None:
+        successors.setdefault(src, []).append(dst)
+        indegree[dst] = indegree.get(dst, 0) + 1
+        indegree.setdefault(src, 0)
+
     for var in variables:
         run = sorted_required[var]
-        graph.add_nodes_from((var, s) for s in run)
-        graph.add_edges_from(
-            ((var, a), (var, b)) for a, b in zip(run, run[1:])
-        )
+        for seqno in run:
+            indegree.setdefault((var, seqno), 0)
+        for a, b in zip(run, run[1:]):
+            add_edge((var, a), (var, b))
     for alert in alerts:
         for var_v, var_w in itertools.permutations(variables, 2):
             head_v = alert.seqno(var_v)
             head_w = alert.seqno(var_w)
-            successor = next(
-                (s for s in sorted_required[var_w] if s > head_w), None
-            )
+            run_w = sorted_required[var_w]
+            at = bisect.bisect_right(run_w, head_w)
+            successor = run_w[at] if at < len(run_w) else None
             if successor is not None:
-                graph.add_edge((var_v, head_v), (var_w, successor))
-    try:
-        cycle = nx.find_cycle(graph)
-    except nx.NetworkXNoCycle:
+                add_edge((var_v, head_v), (var_w, successor))
+
+    ready = [node for node, degree in indegree.items() if degree == 0]
+    removed = 0
+    while ready:
+        node = ready.pop()
+        removed += 1
+        for succ in successors.get(node, ()):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if removed == len(indegree):
         return ConsistencyResult(
             True,
             witness_received=frozenset(
                 (var, s) for var in variables for s in required[var]
             ),
         )
-    rendered = " -> ".join(f"{s}{v}" for (v, s), _ in cycle)
+    # Some node sits on (or behind) a cycle.  Every blocked node keeps at
+    # least one blocked predecessor (its remaining indegree), so walking
+    # predecessors inside the blocked set must revisit a node — that loop
+    # is a cycle, recorded backwards.
+    blocked = {node for node, degree in indegree.items() if degree > 0}
+    predecessors: dict[tuple[str, int], tuple[str, int]] = {}
+    for src, dsts in successors.items():
+        if src in blocked:
+            for dst in dsts:
+                if dst in blocked:
+                    predecessors.setdefault(dst, src)
+    node = min(blocked)
+    seen: dict[tuple[str, int], int] = {}
+    walk: list[tuple[str, int]] = []
+    while node not in seen:
+        seen[node] = len(walk)
+        walk.append(node)
+        node = predecessors[node]
+    cycle = list(reversed(walk[seen[node] :]))
+    rendered = " -> ".join(f"{s}{v}" for (v, s) in cycle + [cycle[0]])
     return ConsistencyResult(
         False, conflict=f"precedence cycle over updates: {rendered}"
     )
-
-
-def _ordered_subsequences(updates: Sequence[Update]) -> Iterable[tuple[Update, ...]]:
-    """All subsequences of an ordered per-variable update run."""
-    for mask in range(1 << len(updates)):
-        yield tuple(u for i, u in enumerate(updates) if mask & (1 << i))
 
 
 def check_consistency_bruteforce(
@@ -248,35 +284,128 @@ def check_consistency_bruteforce(
     """Exhaustive consistency oracle: search for an explicit witness U′.
 
     ``per_variable_updates`` holds, for each variable, the ordered union
-    of updates received by all CEs (the building blocks of UV).  The
-    search enumerates every per-variable subset and every interleaving of
-    the chosen subsets, applying T to each candidate U′.  ``limit`` bounds
-    the number of candidate sequences examined; exceeding it raises
+    of updates received by all CEs (the building blocks of UV).  A valid
+    witness is any interleaving of per-variable *subsequences* of those
+    runs, so the search walks candidate prefixes directly: at each step
+    one variable's next update is either taken into U′ or skipped.  The
+    reference evaluator's behaviour on the rest of the candidate depends
+    only on (per-variable positions, the history windows of *taken*
+    updates, which target alerts are already covered), so states are
+    memoized on exactly that triple, and the search exits as soon as every
+    displayed alert is covered — dropping the remaining updates only
+    removes constraints.  Exact same verdicts as enumerating every
+    subset × interleaving, exponentially fewer states on typical traces.
+
+    ``limit`` bounds the number of explored states; exceeding it raises
     RuntimeError rather than silently returning a wrong verdict.
     """
     if not alerts:
         return ConsistencyResult(True, witness_sequence=())
     targets = alert_identity_set(alerts)
-    examined = 0
-    subset_choices = [
-        list(_ordered_subsequences(list(per_variable_updates[var])))
-        for var in per_variable_updates
+    degrees = condition.degrees
+    variables = [
+        var
+        for var, seq in per_variable_updates.items()
+        if var in degrees and len(seq) > 0
     ]
-    varnames = list(per_variable_updates)
-    for chosen in itertools.product(*subset_choices):
-        per_var = {var: list(subset) for var, subset in zip(varnames, chosen)}
-        for candidate in interleavings(per_var):
-            examined += 1
-            if examined > limit:
-                raise RuntimeError(
-                    f"consistency brute-force exceeded limit={limit}; "
-                    "use the constraint-based checkers for instances this size"
-                )
-            produced = alert_identity_set(apply_T(condition, candidate))
-            if targets <= produced:
-                return ConsistencyResult(
-                    True, witness_sequence=tuple(candidate)
-                )
+    sequences = {var: list(per_variable_updates[var]) for var in variables}
+    lengths = [len(sequences[var]) for var in variables]
+    n_vars = len(variables)
+
+    # A condition variable with fewer updates than its degree keeps H
+    # undefined on every candidate: T(U′) is empty, so a non-empty A can
+    # never be explained.
+    if any(
+        len(sequences.get(var, ())) < degree for var, degree in degrees.items()
+    ):
+        return ConsistencyResult(
+            False,
+            conflict=(
+                "no U' explains A: some variable has fewer combined updates "
+                "than the condition's degree"
+            ),
+        )
+
+    bit_of = {identity: 1 << i for i, identity in enumerate(sorted(targets))}
+    full_mask = (1 << len(targets)) - 1
+
+    evaluate = condition.evaluate
+    condname = condition.name
+    eval_cache: dict[tuple, tuple | None] = {}
+
+    def alert_identity(windows: tuple) -> tuple | None:
+        """Identity of the alert triggered by the newest take, or None."""
+        cached = eval_cache.get(windows, _UNEVALUATED)
+        if cached is not _UNEVALUATED:
+            return cached
+        identity: tuple | None = None
+        if all(
+            len(window) == degrees[var]
+            for var, window in zip(variables, windows)
+        ):
+            snapshot = HistorySnapshot.from_trusted(
+                dict(zip(variables, windows))
+            )
+            if evaluate(snapshot):
+                identity = (condname, snapshot.identity())
+        eval_cache[windows] = identity
+        return identity
+
+    failed: set[tuple] = set()
+    taken: list[Update] = []
+    states = 0
+
+    def search(positions: tuple[int, ...], windows: tuple, covered: int) -> bool:
+        nonlocal states
+        if covered == full_mask:
+            return True
+        if all(positions[i] == lengths[i] for i in range(n_vars)):
+            return False
+        key = (positions, windows, covered)
+        if key in failed:
+            return False
+        states += 1
+        if states > limit:
+            raise RuntimeError(
+                f"consistency brute-force exceeded limit={limit} states; "
+                "use the constraint-based checkers for instances this size"
+            )
+        for index in range(n_vars):
+            position = positions[index]
+            if position == lengths[index]:
+                continue
+            advanced = (
+                positions[:index] + (position + 1,) + positions[index + 1 :]
+            )
+            update = sequences[variables[index]][position]
+            # Take the update into U′ ...
+            degree = degrees[variables[index]]
+            new_window = ((update,) + windows[index])[:degree]
+            new_windows = (
+                windows[:index] + (new_window,) + windows[index + 1 :]
+            )
+            identity = alert_identity(new_windows)
+            new_covered = covered
+            if identity is not None:
+                bit = bit_of.get(identity)
+                if bit is not None:
+                    new_covered = covered | bit
+            if search(advanced, new_windows, new_covered):
+                taken.append(update)
+                return True
+            # ... or skip it (drop it from U′).
+            if search(advanced, windows, covered):
+                return True
+        failed.add(key)
+        return False
+
+    initial_windows = tuple(() for _ in variables)
+    if search(tuple([0] * n_vars), initial_windows, 0):
+        taken.reverse()
+        return ConsistencyResult(True, witness_sequence=tuple(taken))
     return ConsistencyResult(
-        False, conflict=f"no U' among {examined} candidates explains A"
+        False, conflict=f"no U' among {states} explored states explains A"
     )
+
+
+_UNEVALUATED = object()

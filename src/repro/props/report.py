@@ -12,6 +12,7 @@ with the first witness retained for replay).
 from __future__ import annotations
 
 from collections.abc import Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.alert import Alert
@@ -21,6 +22,7 @@ from repro.core.update import Update
 from repro.props.completeness import (
     CompletenessResult,
     check_completeness_multi,
+    check_completeness_multi_enumerated,
     check_completeness_single,
 )
 from repro.props.consistency import (
@@ -30,26 +32,65 @@ from repro.props.consistency import (
 )
 from repro.props.orderedness import OrderednessResult, check_orderedness
 
-__all__ = ["PropertyReport", "PropertyTally", "evaluate_run"]
+__all__ = [
+    "PropertyReport",
+    "PropertyTally",
+    "evaluate_run",
+    "legacy_completeness_backend",
+]
 
 #: Above this many interleavings, the exhaustive multi-variable
 #: completeness/consistency oracles are skipped (verdict None).
 DEFAULT_INTERLEAVING_LIMIT = 200_000
 
+_LEGACY_COMPLETENESS = False
+
+
+@contextmanager
+def legacy_completeness_backend():
+    """Route multi-variable completeness through the enumeration oracle.
+
+    A benchmarking/cross-validation hook: inside the context,
+    :func:`evaluate_run` decides multi-variable completeness with
+    :func:`~repro.props.completeness.check_completeness_multi_enumerated`
+    (the pre-engine implementation) instead of the pruned DFS.  Verdicts
+    are identical by construction; only the cost differs.
+    """
+    global _LEGACY_COMPLETENESS
+    previous = _LEGACY_COMPLETENESS
+    _LEGACY_COMPLETENESS = True
+    try:
+        yield
+    finally:
+        _LEGACY_COMPLETENESS = previous
+
 
 @dataclass(frozen=True)
 class PropertyReport:
-    """Verdicts for one run.  ``None`` = checker skipped (instance too big)."""
+    """Verdicts for one run.
+
+    ``None`` = checker skipped (instance too big); a completeness result
+    with ``undecided=True`` (state budget exhausted mid-search) is
+    likewise reported as ``None`` in :attr:`summary` and skipped by
+    :class:`PropertyTally` — an exhausted search is not a violation.
+    """
 
     ordered: OrderednessResult
     complete: CompletenessResult | None
     consistent: ConsistencyResult | None
 
     @property
+    def completeness_decided(self) -> bool:
+        """True iff the completeness checker ran to a definite verdict."""
+        return self.complete is not None and not self.complete.undecided
+
+    @property
     def summary(self) -> dict[str, bool | None]:
         return {
             "ordered": bool(self.ordered),
-            "complete": None if self.complete is None else bool(self.complete),
+            "complete": (
+                bool(self.complete) if self.completeness_decided else None
+            ),
             "consistent": None if self.consistent is None else bool(self.consistent),
         }
 
@@ -79,10 +120,20 @@ def evaluate_run(
         )
         return PropertyReport(ordered, complete, consistent)
 
-    # Multi-variable: exhaustive completeness only when tractable.
+    # Multi-variable: exact completeness only when tractable.  The skip
+    # policy is still phrased in interleaving counts (the historical cost
+    # model, and what the golden fixtures pin); under it the pruned DFS
+    # explores far fewer states than ``interleaving_limit``, so undecided
+    # results are effectively impossible here — but they are propagated
+    # faithfully if a caller passes an aggressive limit.
     n_interleavings = count_interleavings(per_variable)
     if n_interleavings <= interleaving_limit:
-        complete = check_completeness_multi(
+        checker = (
+            check_completeness_multi_enumerated
+            if _LEGACY_COMPLETENESS
+            else check_completeness_multi
+        )
+        complete = checker(
             displayed, condition, per_variable, limit=interleaving_limit
         )
     else:
@@ -105,6 +156,8 @@ class PropertyTally:
     consistency_violations: int = 0
     completeness_checked: int = 0
     consistency_checked: int = 0
+    #: Runs whose completeness search exhausted its budget (undecided).
+    completeness_undecided: int = 0
     first_unordered_seed: int | None = None
     first_incomplete_seed: int | None = None
     first_inconsistent_seed: int | None = None
@@ -122,7 +175,9 @@ class PropertyTally:
                     f"inversion in {report.ordered.violating_variable} at "
                     f"alert index {report.ordered.violation_index}",
                 )
-        if report.complete is not None:
+        if report.complete is not None and report.complete.undecided:
+            self.completeness_undecided += 1
+        elif report.complete is not None:
             self.completeness_checked += 1
             if not report.complete:
                 self.completeness_violations += 1

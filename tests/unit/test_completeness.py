@@ -9,6 +9,7 @@ from repro.core.update import parse_trace
 from repro.props.completeness import (
     check_completeness,
     check_completeness_multi,
+    check_completeness_multi_enumerated,
     check_completeness_single,
 )
 from repro.workloads.traces import lemma_6_example
@@ -82,13 +83,39 @@ class TestMultiVariable:
         assert result
         assert result.witness_interleaving is not None
 
-    def test_limit_enforced(self):
+    def test_limit_yields_undecided(self):
+        per_var = {
+            "x": parse_trace(", ".join(f"{i}x" for i in range(1, 15))),
+            "y": parse_trace(", ".join(f"{i}y" for i in range(1, 15))),
+        }
+        result = check_completeness_multi([], cm(), per_var, limit=3)
+        assert not result
+        assert result.undecided
+
+    def test_enumerated_oracle_limit_raises(self):
         per_var = {
             "x": parse_trace(", ".join(f"{i}x" for i in range(1, 15))),
             "y": parse_trace(", ".join(f"{i}y" for i in range(1, 15))),
         }
         with pytest.raises(RuntimeError):
-            check_completeness_multi([], cm(), per_var, limit=100)
+            check_completeness_multi_enumerated([], cm(), per_var, limit=100)
+
+    def test_enumerated_oracle_matches_dfs(self):
+        example = lemma_6_example()
+        per_var = combine_received(example.traces, ("x", "y"))
+        for displayed in (
+            [example.alert_streams[0][0], example.alert_streams[1][0]],
+            list(example.alert_streams[0]),
+        ):
+            dfs = check_completeness_multi(
+                displayed, example.condition, per_var
+            )
+            enum = check_completeness_multi_enumerated(
+                displayed, example.condition, per_var
+            )
+            assert bool(dfs) == bool(enum)
+            assert dfs.missing == enum.missing
+            assert dfs.extraneous == enum.extraneous
 
 
 class TestDispatch:

@@ -1,0 +1,199 @@
+"""Unit tests for the trial engine (specs, chunking, executor, plans)."""
+
+import logging
+
+import pytest
+
+from repro.engine import (
+    MAX_CHUNKSIZE,
+    TrialEngine,
+    TrialSpec,
+    default_chunksize,
+    plan_table,
+    resolve_processes,
+    tabulate,
+)
+from repro.workloads.scenarios import ROW_ORDER
+
+
+class TestResolveProcesses:
+    def test_auto_is_at_least_one(self):
+        assert resolve_processes("auto") >= 1
+
+    def test_int_passthrough(self):
+        assert resolve_processes(3) == 3
+        assert resolve_processes("2") == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_processes(0)
+        with pytest.raises(ValueError):
+            resolve_processes(-4)
+
+
+class TestDefaultChunksize:
+    def test_sequential_is_one(self):
+        assert default_chunksize(1000, 1) == 1
+
+    def test_small_batches_stay_fine_grained(self):
+        assert default_chunksize(6, 2) == 1
+        assert default_chunksize(16, 4) == 1
+
+    def test_large_batches_are_capped(self):
+        # The old len//(4*p) rule would hand out 1250-trial chunks here.
+        assert default_chunksize(10_000, 2) == MAX_CHUNKSIZE
+
+    def test_never_zero(self):
+        for n in (0, 1, 2, 7, 100):
+            for p in (1, 2, 8):
+                assert default_chunksize(n, p) >= 1
+
+
+class TestTrialSpec:
+    def test_execute_matches_run_scenario(self):
+        from repro.workloads.scenarios import (
+            SINGLE_VARIABLE_SCENARIOS,
+            run_scenario,
+        )
+
+        spec = TrialSpec("single", "aggressive", "AD-1", 99, 12)
+        direct = run_scenario(
+            SINGLE_VARIABLE_SCENARIOS["aggressive"], "AD-1", 99, n_updates=12
+        ).evaluate_properties()
+        assert spec.execute().summary == direct.summary
+
+    def test_front_loss_override(self):
+        spec = TrialSpec(
+            "single", "aggressive", "AD-1", 1, 10, front_loss=0.0
+        )
+        assert spec.resolve_scenario().front_loss == 0.0
+        base = TrialSpec("single", "aggressive", "AD-1", 1, 10)
+        assert base.resolve_scenario().front_loss > 0.0
+
+
+class TestTrialEngine:
+    SPECS = [
+        TrialSpec("single", "aggressive", "AD-1", seed, 12)
+        for seed in range(8)
+    ]
+
+    def test_inline_matches_parallel(self):
+        inline = TrialEngine(processes=1).run(self.SPECS)
+        with TrialEngine(processes=2) as engine:
+            pooled = engine.run(self.SPECS)
+        assert [r.summary for r in inline] == [r.summary for r in pooled]
+
+    def test_empty_batch(self):
+        assert TrialEngine(processes=1).run([]) == []
+
+    def test_pool_persists_across_batches(self):
+        with TrialEngine(processes=2) as engine:
+            first = engine.run(self.SPECS[:4])
+            pool = engine._pool
+            second = engine.run(self.SPECS[4:])
+            assert engine._pool is pool  # same workers, no respawn
+        assert len(first) + len(second) == len(self.SPECS)
+
+    def test_single_spec_runs_inline_with_log(self, caplog):
+        engine = TrialEngine(processes=4)
+        with caplog.at_level(logging.DEBUG, logger="repro.engine.core"):
+            reports = engine.run(self.SPECS[:1])
+        assert len(reports) == 1
+        assert engine._pool is None  # no pool was spun up
+        assert any("inline" in record.message for record in caplog.records)
+
+    def test_explicit_chunksize(self):
+        with TrialEngine(processes=2, chunksize=3) as engine:
+            reports = engine.run(self.SPECS)
+        assert len(reports) == len(self.SPECS)
+
+    def test_invalid_chunksize(self):
+        with pytest.raises(ValueError):
+            TrialEngine(processes=2, chunksize=0)
+
+    def test_run_tally_counts_all_specs(self):
+        tally = TrialEngine(processes=1).run_tally(self.SPECS)
+        assert tally.runs == len(self.SPECS)
+
+
+class TestTablePlan:
+    def test_plan_covers_all_rows(self):
+        plan = plan_table("table3", trials=2, completeness_trials=3)
+        assert len(plan.specs) == 4 * (2 + 3)
+        assert {spec.row for spec in plan.specs} == set(ROW_ORDER)
+
+    def test_single_variable_tables_skip_completeness_batch(self):
+        plan = plan_table("table1", trials=2)
+        assert len(plan.specs) == 4 * 2
+
+    def test_tabulate_rejects_mismatched_reports(self):
+        plan = plan_table("table1", trials=2)
+        with pytest.raises(ValueError):
+            tabulate(plan, [])
+
+
+class TestGoldenEquivalence:
+    """build_table_parallel over a 4-worker pool must be bit-identical to
+    the sequential build_table — same tallies, witnesses and seeds — for
+    every table the paper reports."""
+
+    TABLE_IDS = ("table1", "table2", "table3", "ad3", "ad4", "ad6")
+
+    def test_parallel_matches_sequential_everywhere(self):
+        from repro.analysis.parallel import build_table_parallel
+        from repro.analysis.tables import build_table
+
+        kwargs = dict(
+            trials=3,
+            n_updates=10,
+            base_seed=4242,
+            completeness_trials=3,
+            completeness_n_updates=5,
+        )
+        with TrialEngine(processes=4) as engine:
+            for table_id in self.TABLE_IDS:
+                sequential = build_table(table_id, **kwargs)
+                parallel = build_table_parallel(
+                    table_id, engine=engine, **kwargs
+                )
+                # PropertyTally is a plain dataclass: == compares every
+                # counter, first-violation seed and witness string.
+                assert parallel.tallies == sequential.tallies, table_id
+                assert (
+                    parallel.measured_grid() == sequential.measured_grid()
+                ), table_id
+
+
+class TestSweepEquivalence:
+    def test_engine_sweep_matches_inline(self):
+        from repro.analysis.sweeps import loss_sweep
+        from repro.workloads.scenarios import SINGLE_VARIABLE_SCENARIOS
+
+        scenario = SINGLE_VARIABLE_SCENARIOS["aggressive"]
+        inline = loss_sweep(scenario, "AD-1", (0.0, 0.3), trials=4, n_updates=10)
+        with TrialEngine(processes=2) as engine:
+            pooled = loss_sweep(
+                scenario, "AD-1", (0.0, 0.3), trials=4, n_updates=10,
+                engine=engine,
+            )
+        assert inline == pooled
+
+
+class TestCompletenessCeiling:
+    def test_n_updates_8_fully_decided(self):
+        # The pruned DFS lifts the old enumeration ceiling of 5 readings
+        # per variable: at 8 readings every short-batch completeness check
+        # must reach a definite verdict (nothing undecided, nothing
+        # skipped by the interleaving-count guard).
+        from repro.analysis.tables import build_table
+
+        result = build_table(
+            "table3",
+            trials=2,
+            n_updates=12,
+            completeness_trials=5,
+            completeness_n_updates=8,
+        )
+        for row, tally in result.tallies.items():
+            assert tally.completeness_undecided == 0, row
+            assert tally.completeness_checked >= 5, row

@@ -79,6 +79,38 @@ class TestCancellation:
         event.cancel()
         kernel.run()
 
+    def test_run_until_leaves_cancelled_events_beyond_horizon(self):
+        # A cancelled event past `until` belongs to a later run() call;
+        # run(until=...) must stop at the horizon without popping it.
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append(1))
+        event = kernel.schedule(10.0, lambda: fired.append(10))
+        event.cancel()
+        kernel.schedule(12.0, lambda: fired.append(12))
+        kernel.run(until=5.0)
+        assert fired == [1]
+        assert kernel.pending == 2  # cancelled 10.0 event still queued
+        kernel.run()
+        assert fired == [1, 12]
+
+    def test_mass_cancellation_compacts_large_queue(self):
+        kernel = Kernel()
+        fired = []
+        events = [
+            kernel.schedule(float(i + 1), lambda: fired.append(1))
+            for i in range(3000)
+        ]
+        for event in events[:2900]:
+            event.cancel()
+        # Compaction triggers on a later push once enough entries are dead.
+        for i in range(1200):
+            kernel.schedule(5000.0 + i, lambda: fired.append(2))
+        assert kernel.pending < 3000 + 1200
+        kernel.run()
+        assert fired.count(1) == 100
+        assert fired.count(2) == 1200
+
 
 class TestRunControls:
     def test_run_until(self):

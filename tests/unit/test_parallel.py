@@ -60,3 +60,30 @@ class TestBuildTableParallel:
         for row, tally in result.tallies.items():
             assert tally.runs == 10
             assert tally.always_ordered  # AD-5 Lemma 4, any process count
+
+
+class TestRunTrialsRegressions:
+    SPECS = [("single", "aggressive", "AD-1", seed, 12, 2) for seed in range(6)]
+
+    def test_single_spec_respects_result_despite_processes(self, caplog):
+        # The old code silently fell back to sequential for len(specs) < 2;
+        # now the inline shortcut is logged and still returns the result.
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.engine.core"):
+            outcomes = run_trials(self.SPECS[:1], processes=4)
+        assert len(outcomes) == 1
+        assert outcomes[0][0] == self.SPECS[0][3]
+        assert any("inline" in record.message for record in caplog.records)
+
+    def test_chunksize_parameterized(self):
+        # Explicit chunk sizing (the old 4*processes divisor was fixed).
+        default = run_trials(self.SPECS, processes=2)
+        chunked = run_trials(self.SPECS, processes=2, chunksize=2)
+        assert [s for s, _ in default] == [s for s, _ in chunked]
+        for (_, r1), (_, r2) in zip(default, chunked):
+            assert r1.summary == r2.summary
+
+    def test_auto_processes_accepted(self):
+        outcomes = run_trials(self.SPECS[:2], processes="auto")
+        assert [seed for seed, _ in outcomes] == [0, 1]

@@ -72,6 +72,15 @@ class TestGrammar:
     def test_unary_minus_and_division(self):
         assert evaluate("-H.x[0].value / 2 == -5", [(1, 10.0)])
 
+    def test_nested_negated_literals_fold_in_one_pass(self):
+        # "-(-(-0))" must normalise to the literal "-0" on the first
+        # parse/render round, not leave a Neg node for a second round.
+        from repro.core.parser import parse_expression
+        from repro.core.serialization import expression_to_text
+
+        once = expression_to_text(parse_expression("(0 > (-(-(-5))))"))
+        assert once == expression_to_text(parse_expression(once)) == "(0 > -5)"
+
     def test_reversed_operand_order(self):
         assert evaluate("3000 < H.x[0].value", [(1, 3100.0)])
 

@@ -5,11 +5,15 @@ import pytest
 from repro.core.condition import c1, c2
 from repro.core.reference import (
     apply_T,
+    clear_reference_caches,
     combine_received,
     count_interleavings,
     interleavings,
     is_interleaving_of,
     merge_single_variable,
+    reference_cache_info,
+    reference_caches_disabled,
+    set_reference_cache_size,
 )
 from repro.core.update import Update, parse_trace
 
@@ -132,3 +136,75 @@ class TestTOnMergedInput:
         merged = merge_single_variable(u1, u2)
         alerts = apply_T(c2(), merged)
         assert [a.seqno("x") for a in alerts] == [2]
+
+
+class TestReferenceCaches:
+    def setup_method(self):
+        clear_reference_caches()
+
+    def test_cached_matches_uncached(self):
+        trace = parse_trace("1x(2900), 2x(3100), 3x(3200)")
+        with reference_caches_disabled():
+            baseline = apply_T(c1(), trace)
+        cached_miss = apply_T(c1(), trace)  # populates the cache
+        cached_hit = apply_T(c1(), trace)  # served from the cache
+        for alerts in (cached_miss, cached_hit):
+            assert [a.identity() for a in alerts] == [
+                a.identity() for a in baseline
+            ]
+        assert reference_cache_info()["apply_T"]["hits"] >= 1
+
+    def test_cache_result_is_a_fresh_list(self):
+        trace = parse_trace("1x(3100)")
+        first = apply_T(c1(), trace)
+        second = apply_T(c1(), trace)
+        assert first is not second
+        first.append("sentinel")
+        assert len(apply_T(c1(), trace)) == 1
+
+    def test_same_seqnos_different_values_not_conflated(self):
+        # Update.__eq__/__hash__ ignore `value`; the cache key must not.
+        hot = parse_trace("1x(3100)")
+        cold = parse_trace("1x(100)")
+        assert len(apply_T(c1(), hot)) == 1
+        assert len(apply_T(c1(), cold)) == 0
+
+    def test_combine_received_cached_matches_uncached(self):
+        u1 = parse_trace("1x(2900), 2x(3100)")
+        u2 = parse_trace("1x(2900), 3x(3200)")
+        with reference_caches_disabled():
+            baseline = combine_received([u1, u2], ("x",))
+        assert combine_received([u1, u2], ("x",)) == baseline
+        assert combine_received([u1, u2], ("x",)) == baseline
+        assert reference_cache_info()["combine_received"]["hits"] >= 1
+
+    def test_combine_received_returns_fresh_lists(self):
+        u1 = parse_trace("1x(2900)")
+        combined = combine_received([u1], ("x",))
+        combined["x"].append("sentinel")
+        assert len(combine_received([u1], ("x",))["x"]) == 1
+
+    def test_lru_eviction(self):
+        set_reference_cache_size(t_cache=2, combine_cache=2)
+        try:
+            traces = [parse_trace(f"{i}x(3100)") for i in range(1, 5)]
+            for trace in traces:
+                apply_T(c1(), trace)
+            assert reference_cache_info()["apply_T"]["size"] <= 2
+        finally:
+            set_reference_cache_size()
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            set_reference_cache_size(t_cache=0)
+
+    def test_opaque_condition_bypasses_cache(self):
+        from repro.core.condition import PredicateCondition
+
+        condition = PredicateCondition(
+            "opaque", {"x": 1}, lambda h: h["x"][0].value > 3000
+        )
+        assert condition.cache_key() is None
+        before = reference_cache_info()["apply_T"]["misses"]
+        apply_T(condition, parse_trace("1x(3100)"))
+        assert reference_cache_info()["apply_T"]["misses"] == before

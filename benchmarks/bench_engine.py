@@ -26,11 +26,18 @@ Run directly (writes ``BENCH_trials.json`` next to this file):
 
     PYTHONPATH=src python benchmarks/bench_engine.py
 
-CI regression gate (reduced trials, compares per-trial seconds against
-the committed baseline, exits 1 on a >2x slowdown):
+CI regression gate (reduced trials, best-of-``--repeat`` engine timing,
+compares per-trial seconds against the committed baseline; the tight
+tolerance doubles as the observability layer's tracing-disabled overhead
+gate — instrumentation must stay under 5% per trial):
 
     PYTHONPATH=src python benchmarks/bench_engine.py \
-        --trials 30 --check-against benchmarks/BENCH_trials.json
+        --trials 30 --repeat 3 --tolerance 1.05 \
+        --check-against benchmarks/BENCH_trials.json
+
+``--emit-trace DIR`` additionally records one JSONL trace per Table 3 row
+(see :mod:`repro.observability`) and replays each one, so every benchmark
+run leaves bit-identity-verified trace artifacts behind.
 """
 
 from __future__ import annotations
@@ -65,7 +72,21 @@ def _time(fn):
     return result, time.perf_counter() - start
 
 
-def run_benchmark(trials: int) -> dict:
+def _best_time(fn, repeat: int):
+    """Best-of-``repeat`` wall time — the robust estimator for gating.
+
+    Shared runners are noisy; the *minimum* over a few runs tracks the
+    code's actual cost, where a single sample tracks the machine's mood.
+    """
+    result, best = _time(fn)
+    for _ in range(repeat - 1):
+        candidate, elapsed = _time(fn)
+        if elapsed < best:
+            result, best = candidate, elapsed
+    return result, best
+
+
+def run_benchmark(trials: int, repeat: int = 1) -> dict:
     kwargs = dict(
         trials=trials,
         n_updates=N_UPDATES,
@@ -78,13 +99,28 @@ def run_benchmark(trials: int) -> dict:
             return build_table(TABLE_ID, **kwargs)
 
     legacy, legacy_s = _time(legacy_build)
-    engine, engine_s = _time(
-        lambda: build_table_parallel(TABLE_ID, processes="auto", **kwargs)
+    engine, engine_s = _best_time(
+        lambda: build_table_parallel(TABLE_ID, processes="auto", **kwargs),
+        repeat,
     )
     if engine.tallies != legacy.tallies:
         raise AssertionError(
             "engine tallies diverge from the legacy baseline — the speedup "
             "is void; investigate before trusting any timing"
+        )
+
+    # The same workload with per-trial CountersTracers attached, to
+    # document what observability costs when it is actually on.  Verdicts
+    # must be unchanged — tracing is read-only by contract.
+    traced, traced_s = _time(
+        lambda: build_table_parallel(
+            TABLE_ID, processes="auto", collect_counters=True, **kwargs
+        )
+    )
+    if traced.measured_grid() != engine.measured_grid():
+        raise AssertionError(
+            "tracing perturbed the table verdicts — observability must be "
+            "read-only"
         )
 
     _, lifted_s = _time(
@@ -110,7 +146,9 @@ def run_benchmark(trials: int) -> dict:
             "legacy_s": round(legacy_s, 3),
             "engine_s": round(engine_s, 3),
             "engine_lifted_n8_s": round(lifted_s, 3),
+            "engine_counters_s": round(traced_s, 3),
             "speedup_vs_legacy": round(legacy_s / engine_s, 2),
+            "counters_overhead": round(traced_s / engine_s, 2),
             "legacy_per_trial_ms": round(1000 * legacy_s / trials, 3),
             "engine_per_trial_ms": round(1000 * engine_s / trials, 3),
         },
@@ -131,9 +169,34 @@ def check_regression(result: dict, baseline_path: Path, tolerance: float) -> boo
     ratio = current / committed
     print(
         f"engine per-trial: {current:.3f} ms vs committed "
-        f"{committed:.3f} ms ({ratio:.2f}x, tolerance {tolerance:.1f}x)"
+        f"{committed:.3f} ms ({ratio:.2f}x, tolerance {tolerance:.2f}x)"
     )
     return ratio <= tolerance
+
+
+def emit_traces(directory: Path, seed: int = 20010800) -> list[Path]:
+    """Record one replay-verified JSONL trace per Table 3 row.
+
+    Each trace is immediately replayed; a divergence means the
+    determinism contract broke on this host and the benchmark numbers
+    cannot be trusted, so it raises instead of writing a bad artifact.
+    """
+    from repro.engine.spec import TrialSpec
+    from repro.observability import record_trial, replay_trace
+    from repro.workloads.scenarios import ROW_ORDER
+
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for index, row in enumerate(ROW_ORDER):
+        spec = TrialSpec("multi", row, "AD-5", seed + index, 10)
+        trace = record_trial(spec)
+        result = replay_trace(trace)
+        if not result.identical:
+            raise AssertionError(
+                f"trace for {row} failed replay: {result.describe()}"
+            )
+        paths.append(trace.write(directory / f"{TABLE_ID}_{row}.jsonl"))
+    return paths
 
 
 def test_engine_throughput(benchmark):
@@ -150,7 +213,15 @@ def test_engine_throughput(benchmark):
         f"engine {timings['engine_s']}s "
         f"({timings['speedup_vs_legacy']}x vs in-repo legacy baseline; "
         "the seed commit itself is slower still), "
-        f"engine @ n=8 completeness {timings['engine_lifted_n8_s']}s",
+        f"engine @ n=8 completeness {timings['engine_lifted_n8_s']}s, "
+        f"engine with counters {timings['engine_counters_s']}s "
+        f"({timings['counters_overhead']}x)",
+    )
+    traces = emit_traces(RESULT_PATH.parent / "results" / "traces")
+    save_result(
+        "trace_replay",
+        f"{len(traces)} {TABLE_ID} traces recorded and replayed "
+        "bit-identically (see traces/)",
     )
     # Identical tallies are asserted inside run_benchmark; the ratio floor
     # is deliberately loose — shared CI runners are noisy.
@@ -174,19 +245,40 @@ def main(argv: list[str] | None = None) -> int:
         "per-trial engine time regresses beyond --tolerance",
     )
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="time the engine path this many times and gate on the best "
+        "run (noise-robust; use >= 3 with tight tolerances)",
+    )
+    parser.add_argument(
+        "--emit-trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record one replay-verified JSONL trace per table row to DIR",
+    )
     args = parser.parse_args(argv)
     if args.check_against is not None and not args.check_against.is_file():
         # Validate before the (expensive) benchmark run, not after.
         parser.error(f"baseline not found: {args.check_against}")
 
-    result = run_benchmark(args.trials)
+    result = run_benchmark(args.trials, repeat=args.repeat)
     timings = result["timings"]
     print(
         f"{TABLE_ID} x {args.trials} trials: "
         f"legacy {timings['legacy_s']}s, engine {timings['engine_s']}s "
         f"({timings['speedup_vs_legacy']}x), "
-        f"engine @ n=8 completeness {timings['engine_lifted_n8_s']}s"
+        f"engine @ n=8 completeness {timings['engine_lifted_n8_s']}s, "
+        f"engine with counters {timings['engine_counters_s']}s "
+        f"({timings['counters_overhead']}x)"
     )
+
+    if args.emit_trace is not None:
+        paths = emit_traces(args.emit_trace)
+        print(f"recorded and replay-verified {len(paths)} traces in "
+              f"{args.emit_trace}")
 
     if args.check_against is not None:
         if not check_regression(result, args.check_against, args.tolerance):

@@ -77,6 +77,7 @@ def build_table_parallel(
     processes: int | str = 1,
     chunksize: int | None = None,
     engine: TrialEngine | None = None,
+    collect_counters: bool = False,
 ) -> TableResult:
     """Parallel sibling of :func:`repro.analysis.tables.build_table`.
 
@@ -93,6 +94,7 @@ def build_table_parallel(
         base_seed=base_seed,
         completeness_trials=completeness_trials,
         completeness_n_updates=completeness_n_updates,
+        collect_counters=collect_counters,
     )
     if engine is not None:
         return tabulate(plan, engine.run(list(plan.specs)))

@@ -4,6 +4,9 @@ Everything the benchmarks do, driveable from a shell::
 
     python -m repro tables table1 table2        # regenerate paper tables
     python -m repro scenario aggressive --algorithm AD-1 --seed 7 --timeline
+    python -m repro trace record aggressive --seed 7 --out run.jsonl
+    python -m repro trace replay run.jsonl      # bit-identical or exit 1
+    python -m repro trace summarize run.jsonl
     python -m repro shrink aggressive --property consistent
     python -m repro domination
     python -m repro maximality
@@ -58,19 +61,35 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                 kwargs["trials"] = args.trials
             if args.updates:
                 kwargs["n_updates"] = args.updates
-            if parallel:
+            if parallel or args.counters:
                 from repro.analysis.parallel import build_table_parallel
 
                 result = build_table_parallel(
-                    table_id, engine=engine, **kwargs
+                    table_id, engine=engine,
+                    collect_counters=args.counters, **kwargs
                 )
             else:
                 result = build_table(table_id, **kwargs)
             print(render_table(result))
+            if args.counters:
+                _print_table_counters(result)
             print()
             all_ok = all_ok and result.matches_paper()
     print(f"overall paper agreement: {'YES' if all_ok else 'NO'}")
     return 0 if all_ok else 1
+
+
+def _print_stage_counters(summary: dict[str, dict[str, int]], indent: str = "  ") -> None:
+    for stage, kinds in summary.items():
+        rendered = ", ".join(f"{kind}={count}" for kind, count in kinds.items())
+        print(f"{indent}{stage:<7} {rendered}")
+
+
+def _print_table_counters(result) -> None:
+    print("observability counters (summed over trials):")
+    for row, tally in result.tallies.items():
+        print(f" {row}:")
+        _print_stage_counters(tally.stage_counters(), indent="   ")
 
 
 def _scenario_for(row: str, multi: bool):
@@ -82,8 +101,14 @@ def _scenario_for(row: str, multi: bool):
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
     scenario = _scenario_for(args.row, args.multi)
+    tracer = None
+    if args.counters:
+        from repro.observability import CountersTracer
+
+        tracer = CountersTracer()
     run = run_scenario(
-        scenario, args.algorithm, args.seed, n_updates=args.updates
+        scenario, args.algorithm, args.seed, n_updates=args.updates,
+        tracer=tracer,
     )
     print(f"scenario: {scenario.label}")
     print(f"algorithm: {args.algorithm}, seed: {args.seed}")
@@ -95,6 +120,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     print(f"  AD displayed {len(run.displayed)} of {len(run.ad_arrivals)} arrivals")
     report = run.evaluate_properties()
     print(f"  properties: {report.summary}")
+    if tracer is not None:
+        print("  observability counters:")
+        _print_stage_counters(tracer.stage_summary(), indent="    ")
     if args.timeline:
         from repro.analysis.timeline import render_logical_timeline
 
@@ -184,6 +212,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.engine.spec import TrialSpec
+    from repro.observability import record_trial
+
+    _scenario_for(args.row, args.multi)  # validate the row early
+    matrix = "multi" if args.multi else "single"
+    spec = TrialSpec(
+        matrix, args.row, args.algorithm, args.seed, args.updates,
+        args.replication,
+    )
+    trace = record_trial(spec)
+    out = args.out or (
+        f"trace_{matrix}_{args.row}_{args.algorithm}_seed{args.seed}.jsonl"
+    )
+    path = trace.write(out)
+    print(f"recorded {len(trace.events)} events to {path}")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.observability import load_trace, replay_trace
+
+    result = replay_trace(load_trace(args.path))
+    print(result.describe())
+    return 0 if result.identical else 1
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.observability import load_trace, summarize_trace
+
+    summary = summarize_trace(load_trace(args.path))
+    spec = summary["spec"]
+    print(f"trace: {args.path} (schema {summary['schema']})")
+    print(
+        f"  spec: {spec.get('matrix')}/{spec.get('row')} "
+        f"algorithm={spec.get('algorithm')} seed={spec.get('seed')} "
+        f"n_updates={spec.get('n_updates')} "
+        f"replication={spec.get('replication')}"
+    )
+    print(
+        f"  {summary['events']} events over {summary['duration']:g} "
+        f"simulated time units, {len(summary['nodes'])} nodes"
+    )
+    _print_stage_counters(summary["stages"])
+    metrics = summary["metrics"]
+    if metrics:
+        print("  metrics:")
+        for key, value in metrics.items():
+            print(f"    {key}: {value}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("AD algorithms:")
     for name in algorithm_names():
@@ -237,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="fan trials out over N worker processes ('auto' = CPU count)",
     )
+    p_tables.add_argument(
+        "--counters",
+        action="store_true",
+        help="trace every trial and print aggregated per-stage counters",
+    )
     p_tables.set_defaults(func=_cmd_tables)
 
     p_scenario = sub.add_parser("scenario", help="run one randomized trial")
@@ -246,7 +331,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_scenario.add_argument("--updates", type=int, default=30)
     p_scenario.add_argument("--multi", action="store_true")
     p_scenario.add_argument("--timeline", action="store_true")
+    p_scenario.add_argument(
+        "--counters",
+        action="store_true",
+        help="run under a CountersTracer and print per-stage counters",
+    )
     p_scenario.set_defaults(func=_cmd_scenario)
+
+    p_trace = sub.add_parser(
+        "trace", help="record, replay and summarize JSONL run traces"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trec = trace_sub.add_parser(
+        "record", help="run one trial under a recorder and write its trace"
+    )
+    p_trec.add_argument("row", choices=list(ROW_ORDER))
+    p_trec.add_argument("--algorithm", default="AD-1")
+    p_trec.add_argument("--seed", type=int, default=0)
+    p_trec.add_argument("--updates", type=int, default=30)
+    p_trec.add_argument("--replication", type=int, default=2)
+    p_trec.add_argument("--multi", action="store_true")
+    p_trec.add_argument("--out", default=None, help="output .jsonl path")
+    p_trec.set_defaults(func=_cmd_trace_record)
+    p_trep = trace_sub.add_parser(
+        "replay",
+        help="re-execute a recorded trace; exit 0 iff bit-identical",
+    )
+    p_trep.add_argument("path")
+    p_trep.set_defaults(func=_cmd_trace_replay)
+    p_tsum = trace_sub.add_parser(
+        "summarize", help="per-stage event counts and metrics of a trace"
+    )
+    p_tsum.add_argument("path")
+    p_tsum.set_defaults(func=_cmd_trace_summarize)
 
     p_shrink = sub.add_parser(
         "shrink", help="find a property violation and minimize it"

@@ -50,4 +50,24 @@ class ADNode(Node):
             raise TypeError(f"{self.name} expected an Alert, got {type(message)!r}")
         self._arrivals.append(message)
         self._arrival_times.append(self.kernel.now)
-        self.algorithm.offer(message)
+        tracer = self.kernel.tracer
+        if tracer is None:
+            self.algorithm.offer(message)
+            return
+        tracer.emit(
+            self.kernel.now, "ad", "arrive", self.name, alert=str(message)
+        )
+        # The rejection reason must be computed *before* offer() for
+        # accepted alerts (offer mutates filter state), but algorithms only
+        # explain rejections — and a rejected offer leaves state untouched —
+        # so asking after a False offer() is exact.
+        if self.algorithm.offer(message):
+            tracer.emit(
+                self.kernel.now, "ad", "display", self.name, alert=str(message)
+            )
+        else:
+            tracer.emit(
+                self.kernel.now, "ad", "filter", self.name,
+                alert=str(message),
+                reason=self.algorithm.rejection_reason(message),
+            )

@@ -62,9 +62,26 @@ class CENode(Node):
     def receive(self, message) -> None:
         if not isinstance(message, Update):
             raise TypeError(f"{self.name} expected an Update, got {type(message)!r}")
+        tracer = self.kernel.tracer
         if not self.is_up:
             self.missed_while_down += 1
+            if tracer is not None:
+                tracer.emit(
+                    self.kernel.now, "ce", "missed", self.name,
+                    msg=str(message), reason="crashed",
+                )
             return
+        if tracer is not None:
+            tracer.emit(
+                self.kernel.now, "ce", "update-received", self.name,
+                msg=str(message),
+            )
         alert = self.evaluator.ingest(message)
-        if alert is not None and self.back_link is not None:
-            self.back_link.send(alert)
+        if alert is not None:
+            if tracer is not None:
+                tracer.emit(
+                    self.kernel.now, "ce", "alert-raised", self.name,
+                    alert=str(alert),
+                )
+            if self.back_link is not None:
+                self.back_link.send(alert)

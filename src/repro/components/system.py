@@ -134,6 +134,7 @@ class MonitoringSystem:
         config: SystemConfig,
         seed: int = 0,
         algorithm: ADAlgorithm | None = None,
+        tracer: object | None = None,
     ) -> None:
         missing = set(condition.variables) - set(workload)
         if missing:
@@ -143,7 +144,9 @@ class MonitoringSystem:
         self.condition = condition
         self.config = config
         self.seed = seed
-        self.kernel = Kernel()
+        # The tracer rides on the kernel so every component (links, CEs,
+        # the AD) reaches it through its existing kernel reference.
+        self.kernel = Kernel(tracer=tracer)
         streams = RandomStreams(seed)
 
         ad_algorithm = algorithm if algorithm is not None else make_ad(
@@ -229,6 +232,13 @@ def run_system(
     config: SystemConfig,
     seed: int = 0,
     algorithm: ADAlgorithm | None = None,
+    tracer: object | None = None,
 ) -> RunResult:
-    """Build and run a system in one call."""
-    return MonitoringSystem(condition, workload, config, seed, algorithm).run()
+    """Build and run a system in one call.
+
+    ``tracer`` (see :mod:`repro.observability`) observes the run's kernel,
+    link, CE and AD events; ``None`` — the default — disables tracing.
+    """
+    return MonitoringSystem(
+        condition, workload, config, seed, algorithm, tracer=tracer
+    ).run()

@@ -33,3 +33,6 @@ class AD1(ADAlgorithm):
 
     def _record(self, alert: Alert) -> None:
         self._seen.add(alert.identity())
+
+    def rejection_reason(self, alert: Alert) -> str:
+        return f"duplicate: history set of {alert.shorthand()} already displayed"

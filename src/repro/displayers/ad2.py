@@ -39,3 +39,9 @@ class AD2(ADAlgorithm):
 
     def _record(self, alert: Alert) -> None:
         self._last = alert.seqno(self.varname)
+
+    def rejection_reason(self, alert: Alert) -> str:
+        return (
+            f"seqno regression: a.seqno.{self.varname}="
+            f"{alert.seqno(self.varname)} <= last displayed {self._last}"
+        )

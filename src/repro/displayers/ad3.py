@@ -107,3 +107,11 @@ class AD3(ADAlgorithm):
     def _record(self, alert: Alert) -> None:
         self._seen.add(alert.identity())
         self._tracker.record(alert)
+
+    def rejection_reason(self, alert: Alert) -> str:
+        if alert.identity() in self._seen:
+            return f"duplicate: history set of {alert.shorthand()} already displayed"
+        return (
+            f"history conflict in {self.varname}: Received/Missed state "
+            f"contradicts {alert.shorthand()}"
+        )

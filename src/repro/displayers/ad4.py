@@ -45,3 +45,8 @@ class AD4(ADAlgorithm):
     def _record(self, alert: Alert) -> None:
         self._ad2._record(alert)
         self._ad3._record(alert)
+
+    def rejection_reason(self, alert: Alert) -> str:
+        if not self._ad2._accept(alert):
+            return self._ad2.rejection_reason(alert)
+        return self._ad3.rejection_reason(alert)

@@ -58,3 +58,12 @@ class AD5(ADAlgorithm):
     def _record(self, alert: Alert) -> None:
         for var in self.varnames:
             self._last[var] = alert.seqno(var)
+
+    def rejection_reason(self, alert: Alert) -> str:
+        for var in self.varnames:
+            if alert.seqno(var) < self._last[var]:
+                return (
+                    f"seqno inversion in {var}: a.seqno.{var}="
+                    f"{alert.seqno(var)} < last displayed {self._last[var]}"
+                )
+        return "duplicate: seqnos equal last displayed alert in every variable"

@@ -52,3 +52,14 @@ class AD6(ADAlgorithm):
         self._ad5._record(alert)
         for tracker in self._trackers.values():
             tracker.record(alert)
+
+    def rejection_reason(self, alert: Alert) -> str:
+        if not self._ad5._accept(alert):
+            return self._ad5.rejection_reason(alert)
+        for var, tracker in self._trackers.items():
+            if tracker.conflicts(alert):
+                return (
+                    f"history conflict in {var}: Received/Missed state "
+                    f"contradicts {alert.shorthand()}"
+                )
+        return f"rejected by {self.name}"

@@ -62,6 +62,17 @@ class ADAlgorithm:
         """Process a whole arrival stream; return the displayed alerts."""
         return [a for a in alerts if self.offer(a)]
 
+    def rejection_reason(self, alert: Alert) -> str:
+        """Explain why ``alert`` would be rejected *in the current state*.
+
+        Called by the observability layer after :meth:`offer` returned
+        False; a rejected offer leaves state untouched, so the explanation
+        is computed against exactly the state that made the decision.
+        Must not mutate state.  Subclasses override with algorithm-specific
+        reasons; the default names only the algorithm.
+        """
+        return f"rejected by {self.name}"
+
     # -- to be implemented by concrete algorithms ---------------------------
     def _accept(self, alert: Alert) -> bool:
         """Decide whether ``alert`` may be displayed; must not mutate state."""

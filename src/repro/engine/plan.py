@@ -47,6 +47,7 @@ def plan_table(
     base_seed: int = 20010800,
     completeness_trials: int | None = None,
     completeness_n_updates: int = 8,
+    collect_counters: bool = False,
 ) -> TablePlan:
     """Lay out every trial of a table experiment as TrialSpecs.
 
@@ -54,6 +55,10 @@ def plan_table(
     :func:`repro.analysis.tables.build_table`: stable per-cell offsets
     from ``zlib.crc32`` (process-independent, unlike ``hash()``), the
     completeness batch displaced by :data:`COMPLETENESS_SEED_OFFSET`.
+
+    ``collect_counters`` runs every trial under a CountersTracer so the
+    folded tallies carry aggregated per-stage observability counters
+    (tracing never perturbs results — verdicts are unchanged).
     """
     from repro.analysis.tables import TABLE_CONFIG
 
@@ -69,7 +74,7 @@ def plan_table(
             specs.append(
                 TrialSpec(
                     matrix, row, algorithm, base_seed + cell_offset + trial,
-                    n_updates,
+                    n_updates, collect_counters=collect_counters,
                 )
             )
         for trial in range(completeness_trials):
@@ -80,6 +85,7 @@ def plan_table(
                     algorithm,
                     base_seed + COMPLETENESS_SEED_OFFSET + cell_offset + trial,
                     completeness_n_updates,
+                    collect_counters=collect_counters,
                 )
             )
     return TablePlan(table_id, algorithm, multi, trials, tuple(specs))

@@ -42,6 +42,10 @@ class TrialSpec:
     replication: int = 2
     #: Sweep override: replaces the scenario's own front-link loss rate.
     front_loss: float | None = None
+    #: Attach a CountersTracer to the run and carry its per-stage counters
+    #: back on the report (``PropertyReport.counters``), so trial batches
+    #: can aggregate observability counters across processes.
+    collect_counters: bool = False
 
     def resolve_scenario(self) -> Scenario:
         scenario = SCENARIO_MATRICES[self.matrix][self.row]
@@ -51,11 +55,20 @@ class TrialSpec:
 
     def execute(self) -> PropertyReport:
         """Run the trial and decide its properties (in any process)."""
+        tracer = None
+        if self.collect_counters:
+            from repro.observability.tracer import CountersTracer
+
+            tracer = CountersTracer()
         run = run_scenario(
             self.resolve_scenario(),
             self.algorithm,
             self.seed,
             n_updates=self.n_updates,
             replication=self.replication,
+            tracer=tracer,
         )
-        return run.evaluate_properties()
+        report = run.evaluate_properties()
+        if tracer is not None:
+            report = replace(report, counters=tracer.as_dict())
+        return report

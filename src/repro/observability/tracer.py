@@ -1,0 +1,128 @@
+"""Tracer implementations — where emitted events go.
+
+The kernel and the instrumented components hold a single optional
+``tracer`` per run and call ``tracer.emit(...)`` only when one is
+attached, so a run without observability pays one attribute check per
+instrumentation point and nothing else.  Implementations here cover the
+three consumption modes the observability layer needs:
+
+* :class:`CountersTracer` — per-stage/kind/node counters, cheap enough
+  to leave on across thousands of trials; conserved totals are
+  cross-validated against :func:`repro.analysis.metrics.collect_metrics`
+  in the property suite.
+* :class:`MemoryTracer` / :class:`JsonlTraceRecorder` — full event
+  capture, for replay equality checks and JSONL trace artifacts.
+* :class:`TeeTracer` — fan one run out to several consumers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Protocol, runtime_checkable
+
+from repro.observability.events import TraceEvent
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "MemoryTracer",
+    "CountersTracer",
+    "TeeTracer",
+]
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """Anything that can receive instrumentation events."""
+
+    def emit(
+        self, time: float, stage: str, kind: str, node: str, **data: Any
+    ) -> None: ...
+
+
+class NullTracer:
+    """Swallows every event — an *attached but inert* tracer.
+
+    Useful for measuring the cost of the emission path itself (payload
+    construction included) as opposed to the disabled path, where the
+    ``tracer is None`` check short-circuits before any payload is built.
+    """
+
+    def emit(
+        self, time: float, stage: str, kind: str, node: str, **data: Any
+    ) -> None:
+        return None
+
+
+class MemoryTracer:
+    """Records every event, in emission order, as :class:`TraceEvent`s."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(
+        self, time: float, stage: str, kind: str, node: str, **data: Any
+    ) -> None:
+        self.events.append(TraceEvent(time, stage, kind, node, data))
+
+    def event_lines(self) -> list[str]:
+        """Canonical JSONL rendering of the captured stream."""
+        return [event.json_line() for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class CountersTracer:
+    """Per-stage, per-node event counters.
+
+    Keys are ``"stage/kind/node"`` strings (flat, picklable, mergeable),
+    e.g. ``"link/drop/DM-x->CE1"`` or ``"ad/display/AD"``.  Payloads are
+    discarded; only occurrence counts are kept, which makes this tracer
+    cheap enough for bulk trial batches.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Counter[str] = Counter()
+
+    def emit(
+        self, time: float, stage: str, kind: str, node: str, **data: Any
+    ) -> None:
+        self.counts[f"{stage}/{kind}/{node}"] += 1
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain sorted dict — the picklable cross-process form."""
+        return dict(sorted(self.counts.items()))
+
+    def total(self, stage: str, kind: str) -> int:
+        """Sum of ``stage/kind/*`` over every node."""
+        prefix = f"{stage}/{kind}/"
+        return sum(
+            count for key, count in self.counts.items()
+            if key.startswith(prefix)
+        )
+
+    def node_total(self, stage: str, kind: str, node: str) -> int:
+        return self.counts.get(f"{stage}/{kind}/{node}", 0)
+
+    def stage_summary(self) -> dict[str, dict[str, int]]:
+        """``{stage: {kind: count}}`` aggregated over nodes."""
+        summary: dict[str, dict[str, int]] = {}
+        for key, count in sorted(self.counts.items()):
+            stage, kind, _node = key.split("/", 2)
+            summary.setdefault(stage, {})
+            summary[stage][kind] = summary[stage].get(kind, 0) + count
+        return summary
+
+
+class TeeTracer:
+    """Forwards every event to several tracers in order."""
+
+    def __init__(self, *tracers: Tracer) -> None:
+        self.tracers = tuple(tracers)
+
+    def emit(
+        self, time: float, stage: str, kind: str, node: str, **data: Any
+    ) -> None:
+        for tracer in self.tracers:
+            tracer.emit(time, stage, kind, node, **data)

@@ -78,6 +78,11 @@ class PropertyReport:
     ordered: OrderednessResult
     complete: CompletenessResult | None
     consistent: ConsistencyResult | None
+    #: Optional per-stage observability counters from a CountersTracer
+    #: (``"stage/kind/node"`` → count), attached when the trial ran with
+    #: ``TrialSpec.collect_counters``.  Excluded from equality so traced
+    #: and untraced reports of the same run still compare equal.
+    counters: dict[str, int] | None = field(default=None, compare=False)
 
     @property
     def completeness_decided(self) -> bool:
@@ -163,9 +168,15 @@ class PropertyTally:
     first_inconsistent_seed: int | None = None
     #: Retained first-violation details for the experiment log.
     witnesses: dict[str, str] = field(default_factory=dict)
+    #: Summed observability counters (``"stage/kind/node"`` → count) over
+    #: every added report that carried them; empty when tracing was off.
+    counters: dict[str, int] = field(default_factory=dict)
 
     def add(self, report: PropertyReport, seed: int | None = None) -> None:
         self.runs += 1
+        if report.counters:
+            for key, count in report.counters.items():
+                self.counters[key] = self.counters.get(key, 0) + count
         if not report.ordered:
             self.ordered_violations += 1
             if self.first_unordered_seed is None:
@@ -221,3 +232,12 @@ class PropertyTally:
             "complete": self.always_complete,
             "consistent": self.always_consistent,
         }
+
+    def stage_counters(self) -> dict[str, dict[str, int]]:
+        """Aggregated counters as ``{stage: {kind: count}}`` over nodes."""
+        summary: dict[str, dict[str, int]] = {}
+        for key, count in sorted(self.counters.items()):
+            stage, kind, _node = key.split("/", 2)
+            summary.setdefault(stage, {})
+            summary[stage][kind] = summary[stage].get(kind, 0) + count
+        return summary

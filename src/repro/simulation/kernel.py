@@ -12,6 +12,15 @@ compares machine floats/ints directly instead of dispatching through
 dataclass ``__lt__``.  Cancelled events are discarded lazily: they stay
 inert in the heap until they reach the head, and when enough of them
 accumulate in a large queue the kernel compacts the heap in one pass.
+
+Observability: attaching a tracer (any object with
+``emit(time, stage, kind, node, **data)`` — see
+:mod:`repro.observability.tracer`) to :attr:`Kernel.tracer` records every
+schedule/fire/cancel/compact as a structured event.  With no tracer
+attached — the default — each hot-path operation pays exactly one
+attribute load and ``is None`` check, so tracing is effectively free when
+off (the disabled-path overhead is gated under 5% per trial by
+``benchmarks/bench_engine.py``).
 """
 
 from __future__ import annotations
@@ -37,9 +46,16 @@ class Event:
     action: Callable[[], None]
     note: str = ""
     cancelled: bool = False
+    #: Back-reference to the kernel's tracer, set only while tracing is on,
+    #: so ``cancel()`` can be observed without the event knowing its kernel.
+    tracer: object | None = None
 
     def cancel(self) -> None:
         """Prevent this event from firing (it stays in the queue inert)."""
+        if self.tracer is not None and not self.cancelled:
+            self.tracer.emit(
+                self.time, "kernel", "cancel", "", seq=self.seq, note=self.note
+            )
         self.cancelled = True
 
 
@@ -59,12 +75,14 @@ class Kernel:
         kernel.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: object | None = None) -> None:
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
         self._pushes_since_compact = 0
+        #: Optional observability sink (duck-typed; see module docstring).
+        self.tracer = tracer
 
     @property
     def now(self) -> float:
@@ -95,6 +113,12 @@ class Kernel:
             )
         seq = next(self._counter)
         event = Event(time, seq, action, note)
+        tracer = self.tracer
+        if tracer is not None:
+            event.tracer = tracer
+            tracer.emit(
+                self._now, "kernel", "schedule", "", seq=seq, at=time, note=note
+            )
         heapq.heappush(self._queue, (time, seq, event))
         self._pushes_since_compact += 1
         if (
@@ -116,6 +140,12 @@ class Kernel:
         if 2 * len(live) <= len(queue):
             heapq.heapify(live)
             self._queue = live
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    self._now, "kernel", "compact", "",
+                    before=len(queue), after=len(live),
+                )
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
@@ -125,6 +155,11 @@ class Kernel:
             if event.cancelled:
                 continue
             self._now = time
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    time, "kernel", "fire", "", seq=_seq, note=event.note
+                )
             event.action()
             self._processed += 1
             return True
@@ -138,8 +173,12 @@ class Kernel:
         SimulationError instead of hanging.
         """
         executed = 0
-        queue = self._queue
-        while queue:
+        # Re-read the queue each iteration: a fired callback may schedule
+        # enough events to trigger compaction, which rebuilds self._queue
+        # as a fresh list — a cached reference would go stale and spin on
+        # already-fired entries.
+        while self._queue:
+            queue = self._queue
             head = queue[0]
             # The until-check must precede cancelled-head cleanup: events
             # beyond the stop time — cancelled or not — belong to a later

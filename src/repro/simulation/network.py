@@ -140,6 +140,12 @@ class Link:
     def send(self, message: Any) -> None:
         raise NotImplementedError
 
+    def _trace(self, kind: str, message: Any, **data: Any) -> None:
+        """Emit a link-stage event (callers gate on ``kernel.tracer``)."""
+        self.kernel.tracer.emit(
+            self.kernel.now, "link", kind, self.name, msg=str(message), **data
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<{type(self).__name__} {self.name} sent={self.sent} "
@@ -179,13 +185,20 @@ class LossyFifoLink(Link):
         self.sent += 1
         tag = self._send_tag
         self._send_tag += 1
+        traced = self.kernel.tracer is not None
+        if traced:
+            self._trace("send", message, tag=tag)
         if self.outage_schedule is not None and not self.outage_schedule.is_up(
             self.kernel.now
         ):
             self.lost_to_outage += 1
+            if traced:
+                self._trace("drop", message, tag=tag, reason="outage")
             return
         if self.rng.random() < self.loss_prob:
             self.lost += 1
+            if traced:
+                self._trace("drop", message, tag=tag, reason="loss")
             return
         delay = self.delay.sample(self.rng)
         self.kernel.schedule(
@@ -197,9 +210,13 @@ class LossyFifoLink(Link):
             # A later-sent message already arrived: discard to preserve the
             # in-order guarantee (the paper's seqno-tagging mechanism).
             self.reorder_drops += 1
+            if self.kernel.tracer is not None:
+                self._trace("drop", message, tag=tag, reason="reorder")
             return
         self._last_delivered_tag = tag
         self.delivered += 1
+        if self.kernel.tracer is not None:
+            self._trace("deliver", message, tag=tag)
         self.receiver(message)
 
 
@@ -230,6 +247,9 @@ class StoreAndForwardLink(Link):
 
     def send(self, message: Any) -> None:
         self.sent += 1
+        traced = self.kernel.tracer is not None
+        if traced:
+            self._trace("send", message)
         raw = self.kernel.now + self.delay.sample(self.rng)
         delivery_time = max(raw, self._last_delivery_time)
         # If the receiver is down at the nominal delivery instant, the
@@ -237,6 +257,8 @@ class StoreAndForwardLink(Link):
         available_at = self.availability.next_up_time(delivery_time)
         if available_at > delivery_time:
             self.redelivered += 1
+            if traced:
+                self._trace("hold", message, until=available_at)
             delivery_time = available_at
         self._last_delivery_time = delivery_time
         self.kernel.schedule_at(
@@ -245,6 +267,8 @@ class StoreAndForwardLink(Link):
 
     def _arrive(self, message: Any) -> None:
         self.delivered += 1
+        if self.kernel.tracer is not None:
+            self._trace("deliver", message)
         self.receiver(message)
 
 
@@ -264,6 +288,8 @@ class ReliableLink(Link):
 
     def send(self, message: Any) -> None:
         self.sent += 1
+        if self.kernel.tracer is not None:
+            self._trace("send", message)
         raw = self.kernel.now + self.delay.sample(self.rng)
         # TCP semantics: a segment sent later is delivered later, so the
         # delivery time is clamped to be monotone per link.
@@ -275,4 +301,6 @@ class ReliableLink(Link):
 
     def _arrive(self, message: Any) -> None:
         self.delivered += 1
+        if self.kernel.tracer is not None:
+            self._trace("deliver", message)
         self.receiver(message)

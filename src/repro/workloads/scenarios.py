@@ -199,8 +199,14 @@ def run_scenario(
     n_updates: int = 30,
     replication: int = 2,
     crash_schedules: Mapping[int, CrashSchedule] | None = None,
+    tracer: object | None = None,
 ) -> RunResult:
-    """Run one randomized trial of a scenario under an AD algorithm."""
+    """Run one randomized trial of a scenario under an AD algorithm.
+
+    ``tracer`` (see :mod:`repro.observability`) observes the run; tracing
+    never perturbs the simulation, so traced and untraced runs of the same
+    ``(scenario, seed)`` produce identical results.
+    """
     streams = RandomStreams(seed)
     condition = scenario.make_condition()
     workload = scenario.make_workload(streams, n_updates)
@@ -214,4 +220,4 @@ def run_scenario(
         crash_schedules=dict(crash_schedules or {}),
         **config_kwargs,
     )
-    return run_system(condition, workload, config, seed=seed)
+    return run_system(condition, workload, config, seed=seed, tracer=tracer)

@@ -116,6 +116,70 @@ class TestTrialEngine:
         assert tally.runs == len(self.SPECS)
 
 
+class TestSingleSpecFallback:
+    """The single-spec inline fallback must be a pure optimization: every
+    execution path — processes=1, the inline fallback of a multi-process
+    engine, and a genuine pooled batch — yields identical reports and
+    identical folded tallies for the same spec."""
+
+    SPEC = TrialSpec("single", "conservative", "AD-2", 7331, 12)
+
+    def test_fallback_report_identical_to_sequential_and_pooled(self):
+        sequential = TrialEngine(processes=1).run([self.SPEC])[0]
+        fallback = TrialEngine(processes=4).run([self.SPEC])[0]
+        with TrialEngine(processes=2) as engine:
+            # Pad the batch so it actually crosses the pool, then pick the
+            # padded copy of our spec back out.
+            pad = TrialSpec("single", "lossless", "pass", 1, 4)
+            pooled = engine.run([self.SPEC, pad])[0]
+        assert fallback == sequential
+        assert pooled == sequential
+
+    def test_fallback_tally_identical_to_pooled_tally(self):
+        inline_tally = TrialEngine(processes=1).run_tally([self.SPEC])
+        fallback_tally = TrialEngine(processes=4).run_tally([self.SPEC])
+        assert fallback_tally == inline_tally
+        assert fallback_tally.runs == 1
+
+    def test_fallback_preserves_counters(self):
+        traced = TrialSpec(
+            "single", "conservative", "AD-2", 7331, 12, collect_counters=True
+        )
+        inline_tally = TrialEngine(processes=1).run_tally([traced])
+        fallback_tally = TrialEngine(processes=4).run_tally([traced])
+        assert fallback_tally.counters == inline_tally.counters
+        assert fallback_tally.counters  # tracing was actually on
+        # Verdicts are unaffected by tracing (counters ride along only).
+        untraced_tally = TrialEngine(processes=1).run_tally([self.SPEC])
+        assert fallback_tally.cell() == untraced_tally.cell()
+
+
+class TestCountersAggregation:
+    def test_run_tally_sums_counters_across_pooled_trials(self):
+        specs = [
+            TrialSpec(
+                "single", "aggressive", "AD-1", seed, 10, collect_counters=True
+            )
+            for seed in range(6)
+        ]
+        inline = TrialEngine(processes=1).run_tally(specs)
+        with TrialEngine(processes=2) as engine:
+            pooled = engine.run_tally(specs)
+        assert pooled.counters == inline.counters
+        # Sums must equal the per-trial counters added up by hand.
+        per_trial = [spec.execute().counters for spec in specs]
+        expected: dict[str, int] = {}
+        for counters in per_trial:
+            for key, count in counters.items():
+                expected[key] = expected.get(key, 0) + count
+        assert pooled.counters == expected
+        stages = pooled.stage_counters()
+        assert set(stages) <= {"kernel", "link", "ce", "ad"}
+        assert stages["ad"]["arrive"] == (
+            stages["ad"].get("display", 0) + stages["ad"].get("filter", 0)
+        )
+
+
 class TestTablePlan:
     def test_plan_covers_all_rows(self):
         plan = plan_table("table3", trials=2, completeness_trials=3)

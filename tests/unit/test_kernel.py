@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.observability import MemoryTracer
 from repro.simulation.kernel import Kernel, SimulationError
 
 
@@ -156,6 +157,127 @@ class TestRunControls:
         kernel = Kernel()
         kernel.schedule(1.0, lambda: None)
         assert kernel.pending == 1
+
+
+class TestRunUntilHorizon:
+    def test_event_exactly_on_the_horizon_fires(self):
+        # run(until=t) stops at events *after* t; one sitting exactly on
+        # the horizon belongs to this run and must fire.
+        kernel = Kernel()
+        fired = []
+        kernel.schedule_at(5.0, lambda: fired.append(kernel.now))
+        kernel.schedule_at(5.0 + 1e-9, lambda: fired.append(-1.0))
+        kernel.run(until=5.0)
+        assert fired == [5.0]
+        assert kernel.now == 5.0
+        kernel.run()
+        assert fired == [5.0, -1.0]
+
+    def test_tied_events_on_the_horizon_all_fire(self):
+        kernel = Kernel()
+        fired = []
+        for label in "abc":
+            kernel.schedule_at(3.0, lambda l=label: fired.append(l))
+        kernel.run(until=3.0)
+        assert fired == ["a", "b", "c"]
+
+
+class TestTracing:
+    def test_schedule_fire_events_in_causal_order(self):
+        tracer = MemoryTracer()
+        kernel = Kernel(tracer=tracer)
+        kernel.schedule(1.0, lambda: None, note="only")
+        kernel.run()
+        kinds = [(e.kind, e.data.get("seq")) for e in tracer.events]
+        assert kinds == [("schedule", 0), ("fire", 0)]
+        assert tracer.events[0].time == 0.0  # emitted at scheduling time
+        assert tracer.events[1].time == 1.0  # emitted at fire time
+
+    def test_scheduling_from_inside_a_fired_callback(self):
+        # A callback that schedules must be observed as fire(parent),
+        # schedule(child) stamped with the parent's fire time, fire(child).
+        tracer = MemoryTracer()
+        kernel = Kernel(tracer=tracer)
+        fired = []
+
+        def parent():
+            fired.append(("parent", kernel.now))
+            kernel.schedule(2.0, lambda: fired.append(("child", kernel.now)),
+                            note="child")
+
+        kernel.schedule(1.0, parent, note="parent")
+        kernel.run()
+        assert fired == [("parent", 1.0), ("child", 3.0)]
+        trail = [(e.kind, e.time, e.data.get("note")) for e in tracer.events]
+        assert trail == [
+            ("schedule", 0.0, "parent"),
+            ("fire", 1.0, "parent"),
+            ("schedule", 1.0, "child"),
+            ("fire", 3.0, "child"),
+        ]
+        # The child's schedule event records its future fire time.
+        assert tracer.events[2].data["at"] == 3.0
+
+    def test_cancel_traced_exactly_once(self):
+        tracer = MemoryTracer()
+        kernel = Kernel(tracer=tracer)
+        event = kernel.schedule(1.0, lambda: None, note="doomed")
+        event.cancel()
+        event.cancel()  # idempotent: no second cancel event
+        kernel.run()
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["schedule", "cancel"]
+        assert tracer.events[1].data == {"seq": 0, "note": "doomed"}
+
+    def test_cancelled_event_never_fires_a_trace(self):
+        tracer = MemoryTracer()
+        kernel = Kernel(tracer=tracer)
+        kernel.schedule(1.0, lambda: None).cancel()
+        kernel.schedule(2.0, lambda: None)
+        kernel.run()
+        fires = [e for e in tracer.events if e.kind == "fire"]
+        assert [e.data["seq"] for e in fires] == [1]
+
+    def test_compaction_mid_run_is_traced_and_preserves_survivors(self):
+        # Mass-cancel most of a big queue, then let a running callback
+        # push enough new events to cross the compaction threshold while
+        # the kernel is mid-run.  The rebuild must be observed as a
+        # kernel/compact event and must not lose any live event.
+        tracer = MemoryTracer()
+        kernel = Kernel(tracer=tracer)
+        fired = []
+        events = [
+            kernel.schedule(10.0 + i, lambda: fired.append("old"))
+            for i in range(1500)
+        ]
+        for event in events[50:]:
+            event.cancel()
+
+        def burst():
+            for i in range(1100):
+                kernel.schedule(5000.0 + i, lambda: fired.append("new"))
+
+        kernel.schedule_at(1.0, burst)
+        kernel.run()
+        compacts = [e for e in tracer.events if e.kind == "compact"]
+        assert compacts, "compaction never triggered mid-run"
+        for event in compacts:
+            assert event.data["before"] > event.data["after"]
+        assert fired.count("old") == 50
+        assert fired.count("new") == 1100
+
+    def test_traced_and_untraced_runs_fire_identically(self):
+        def build(tracer):
+            kernel = Kernel(tracer=tracer)
+            fired = []
+            kernel.schedule(2.0, lambda: fired.append("x"))
+            event = kernel.schedule(1.0, lambda: fired.append("y"))
+            event.cancel()
+            kernel.schedule(3.0, lambda: fired.append("z"))
+            kernel.run()
+            return fired
+
+        assert build(None) == build(MemoryTracer()) == ["x", "z"]
 
 
 class TestDeterminism:

@@ -13,6 +13,7 @@ number of CEs at every loss level, and increasing in p for every r.
 
 from benchmarks.conftest import save_result
 from repro.analysis.experiments import availability_experiment
+from repro.faults import chaos_sweep, render_chaos_table, replication_reduces_misses
 
 LOSS_PROBS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
 REPLICATIONS = (1, 2, 3)
@@ -51,3 +52,36 @@ def test_availability(benchmark):
         assert m3 <= m2 + 0.02, f"3 CEs worse than 2 at loss={loss}"
     # And replication buys a large factor at moderate loss:
     assert by_key[(0.2, 2)].mean_miss_fraction < 0.6 * by_key[(0.2, 1)].mean_miss_fraction
+
+
+def test_availability_under_chaos(benchmark):
+    """Figure-1 shape under the full fault model, not just link loss.
+
+    The chaos sweep layers CE/DM/AD crashes, link outages, burst loss,
+    duplication and congestion spikes on top of the scenario's own loss;
+    the claim stays the same — at every chaos intensity, adding CEs does
+    not increase (and at some intensity strictly reduces) the fraction of
+    ground-truth alerts the user never sees.
+    """
+    cells = benchmark.pedantic(
+        lambda: chaos_sweep(
+            intensities=(0.0, 0.5, 1.0, 2.0),
+            replications=REPLICATIONS,
+            trials=25,
+            n_updates=30,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("availability_chaos", render_chaos_table(cells))
+    assert replication_reduces_misses(cells), (
+        "replication failed to reduce missed alerts under chaos:\n"
+        + render_chaos_table(cells)
+    )
+    # Faults hurt: at the top intensity, single-CE misses must exceed the
+    # clean sweep's (the fault model is actually doing something).
+    by_key = {(c.intensity, c.replication): c for c in cells}
+    assert (
+        by_key[(2.0, 1)].mean_miss_fraction
+        > by_key[(0.0, 1)].mean_miss_fraction
+    )

@@ -22,9 +22,9 @@ from repro.displayers.ad2 import AD2
 from repro.displayers.ad3 import AD3
 from repro.displayers.ad4 import AD4
 from repro.props.consistency import check_consistency_single
+from repro.faults.plan import FaultProfile
 from repro.props.domination import DominationResult, test_domination
 from repro.props.maximality import MaximalityResult, probe_streams
-from repro.simulation.failures import random_crash_schedule
 from repro.simulation.rng import RandomStreams
 from repro.workloads.generators import threshold_crossers
 from repro.workloads.scenarios import (
@@ -161,10 +161,13 @@ def availability_experiment(
     """Replication vs missed alerts (the paper's motivation for Figure 1).
 
     Condition c1 over threshold-crossing temperatures; front links lossy;
-    each CE additionally crash/recovers as a renewal process.  For each
+    each CE additionally crash/recovers as a renewal process (a
+    :class:`~repro.faults.plan.FaultProfile` with only CE crashes set,
+    materialized per trial from the trial's own seed).  For each
     (loss, replication) point we measure the fraction of ground-truth
     alerts that never reached the user.
     """
+    profile = FaultProfile(ce_crash_rate=crash_rate, ce_mean_repair=mean_repair)
     points: list[AvailabilityPoint] = []
     horizon = n_updates * 10.0
     for loss in loss_probs:
@@ -177,20 +180,18 @@ def availability_experiment(
                 workload = {
                     "x": threshold_crossers(streams.stream("workload/x"), n_updates)
                 }
-                crash_schedules = {
-                    index: random_crash_schedule(
-                        streams.stream(f"crash/{index}"),
-                        horizon,
-                        crash_rate,
-                        mean_repair,
-                    )
-                    for index in range(replication)
-                }
-                config = SystemConfig(
+                plan = profile.materialize(
+                    streams,
+                    horizon=horizon,
                     replication=replication,
-                    ad_algorithm="AD-1",
-                    front_loss=loss,
-                    crash_schedules=crash_schedules,
+                    variables=("x",),
+                )
+                config = plan.apply_to(
+                    SystemConfig(
+                        replication=replication,
+                        ad_algorithm="AD-1",
+                        front_loss=loss,
+                    )
                 )
                 run = run_system(c1(), workload, config, seed=seed)
                 stats = delivery_stats(run)

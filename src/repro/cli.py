@@ -11,6 +11,7 @@ Everything the benchmarks do, driveable from a shell::
     python -m repro domination
     python -m repro maximality
     python -m repro availability --trials 30
+    python -m repro chaos --intensities 0 1 2 --trials 30
     python -m repro list
 
 Exit status is 0 when the measured results agree with the paper's claims,
@@ -186,6 +187,50 @@ def _cmd_availability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.engine import TrialEngine, resolve_processes
+    from repro.faults import (
+        chaos_sweep,
+        render_chaos_table,
+        replication_reduces_misses,
+    )
+
+    engine = None
+    kwargs = dict(
+        intensities=args.intensities,
+        replications=args.replications,
+        trials=args.trials,
+        row=args.row,
+        algorithm=args.algorithm,
+        n_updates=args.updates,
+    )
+    if resolve_processes(args.processes) > 1:
+        with TrialEngine(processes=args.processes) as engine:
+            cells = chaos_sweep(engine=engine, **kwargs)
+    else:
+        cells = chaos_sweep(**kwargs)
+    print(render_chaos_table(cells))
+    shape_ok = replication_reduces_misses(cells)
+    print(
+        "replication reduces missed alerts: "
+        f"{'YES' if shape_ok else 'NO'} (the Figure-1 claim)"
+    )
+    witnessed = sorted(
+        {
+            (prop, seed)
+            for cell in cells
+            for prop, seed in cell.witness_seeds.items()
+        }
+    )
+    if witnessed:
+        print(
+            "replay a witness with: repro trace record "
+            f"{args.row} --algorithm {args.algorithm} "
+            f"--updates {args.updates} --chaos <intensity> --seed <seed>"
+        )
+    return 0 if shape_ok else 1
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.compare import compare_run
 
@@ -218,9 +263,16 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
 
     _scenario_for(args.row, args.multi)  # validate the row early
     matrix = "multi" if args.multi else "single"
+    faults = None
+    if args.chaos is not None:
+        from repro.faults import DEFAULT_CHAOS_PROFILE
+
+        faults = DEFAULT_CHAOS_PROFILE.scaled(args.chaos)
+        if faults.is_clean:
+            faults = None
     spec = TrialSpec(
         matrix, args.row, args.algorithm, args.seed, args.updates,
-        args.replication,
+        args.replication, faults=faults,
     )
     trace = record_trial(spec)
     out = args.out or (
@@ -352,6 +404,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_trec.add_argument("--replication", type=int, default=2)
     p_trec.add_argument("--multi", action="store_true")
     p_trec.add_argument("--out", default=None, help="output .jsonl path")
+    p_trec.add_argument(
+        "--chaos",
+        type=float,
+        default=None,
+        metavar="INTENSITY",
+        help="inject faults at this chaos intensity (default profile), so "
+        "witness seeds from 'repro chaos' replay exactly",
+    )
     p_trec.set_defaults(func=_cmd_trace_record)
     p_trep = trace_sub.add_parser(
         "replay",
@@ -390,6 +450,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_avail = sub.add_parser("availability", help="Figure-1 motivation sweep")
     p_avail.add_argument("--trials", type=int, default=40)
     p_avail.set_defaults(func=_cmd_availability)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="sweep fault intensity x replication: property survival "
+        "rates, witness seeds, and the Figure-1 availability check",
+    )
+    p_chaos.add_argument(
+        "--intensities",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.5, 1.0, 2.0],
+        help="chaos knob values scaling the default fault profile",
+    )
+    p_chaos.add_argument(
+        "--replications",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3],
+        help="CE replication factors to compare at each intensity",
+    )
+    p_chaos.add_argument("--trials", type=int, default=30)
+    p_chaos.add_argument("--row", choices=list(ROW_ORDER), default="non-historical")
+    p_chaos.add_argument("--algorithm", default="AD-4")
+    p_chaos.add_argument("--updates", type=int, default=30)
+    p_chaos.add_argument(
+        "--processes",
+        type=_processes_arg,
+        default=1,
+        help="fan trials out over N worker processes ('auto' = CPU count)",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_list = sub.add_parser("list", help="algorithms, scenarios, tables")
     p_list.set_defaults(func=_cmd_list)

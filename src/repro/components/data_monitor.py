@@ -32,6 +32,11 @@ class DataMonitor(Node):
         ``(time, value)`` pairs, in non-decreasing time order — the
         variable's trajectory.  Each reading becomes one update with the
         next consecutive seqno.
+    crash_schedule:
+        Optional downtime windows for the sensor itself.  A reading whose
+        broadcast instant falls inside a window is never taken: no update
+        is built, no seqno consumed — the sent sequence U stays gap-free,
+        it is simply shorter (ground truth shrinks with the sensor).
     """
 
     def __init__(
@@ -40,12 +45,15 @@ class DataMonitor(Node):
         varname: str,
         readings: Sequence[tuple[float, float]],
         name: str | None = None,
+        crash_schedule=None,
     ) -> None:
         super().__init__(kernel, name or f"DM-{varname}")
         times = [t for t, _ in readings]
         if any(b < a for a, b in zip(times, times[1:])):
             raise ValueError("readings must be in non-decreasing time order")
         self.varname = varname
+        self.crash_schedule = crash_schedule
+        self.suppressed = 0
         self._readings = list(readings)
         self._links: list[Link] = []
         self._next_seqno = 1
@@ -80,6 +88,16 @@ class DataMonitor(Node):
             )
 
     def _broadcast(self, value: float) -> None:
+        if self.crash_schedule is not None and not self.crash_schedule.is_up(
+            self.kernel.now
+        ):
+            self.suppressed += 1
+            if self.kernel.tracer is not None:
+                self.kernel.tracer.emit(
+                    self.kernel.now, "dm", "suppressed", self.name,
+                    value=value, reason="crashed",
+                )
+            return
         update = Update(self.varname, self._next_seqno, value)
         self._next_seqno += 1
         self._sent.append(update)

@@ -72,6 +72,22 @@ class SystemConfig:
     #: also be out of service") — datagrams sent while a CE's front links
     #: are down are lost.
     front_outages: Mapping[int, CrashSchedule] = field(default_factory=dict)
+    #: Optional per-variable DM (sensor) downtime: readings scheduled
+    #: while the sensor is down are never taken (see
+    #: :class:`~repro.components.data_monitor.DataMonitor`).
+    dm_crash_schedules: Mapping[str, CrashSchedule] = field(default_factory=dict)
+    #: Optional per-CE back-link outage windows.  Back links are TCP-like,
+    #: so an outage stalls alert delivery until the link recovers.
+    back_outages: Mapping[int, CrashSchedule] = field(default_factory=dict)
+    #: Optional correlated-loss model for front links (a stateful
+    #: GilbertElliottLoss; see :mod:`repro.faults.model`).  When set it
+    #: replaces the Bernoulli front_loss coin on every front link.
+    front_loss_model: object | None = None
+    #: Optional bounded duplication adversary on front links.
+    front_duplication: object | None = None
+    #: Optional congestion (delay-spike) schedules for front/back links.
+    front_delay_spikes: object | None = None
+    back_delay_spikes: object | None = None
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -110,6 +126,9 @@ class RunResult:
     filtered: tuple[Alert, ...]
     #: Updates missed because a CE was crashed at delivery time.
     missed_while_down: tuple[int, ...]
+    #: Readings never taken because the DM was down, per variable in
+    #: sorted-variable order (empty when no DM crash schedules are set).
+    dm_suppressed: tuple[int, ...] = ()
 
     def evaluate_properties(self, interleaving_limit: int | None = None) -> PropertyReport:
         """Decide orderedness/completeness/consistency for this run."""
@@ -170,6 +189,8 @@ class MonitoringSystem:
                     streams.stream(f"back/{ce.name}"),
                     availability=config.ad_crash_schedule,
                     name=f"{ce.name}->AD",
+                    outage_schedule=config.back_outages.get(index),
+                    spikes=config.back_delay_spikes,
                 )
             else:
                 back = ReliableLink(
@@ -178,13 +199,20 @@ class MonitoringSystem:
                     config.back_delay,
                     streams.stream(f"back/{ce.name}"),
                     name=f"{ce.name}->AD",
+                    outage_schedule=config.back_outages.get(index),
+                    spikes=config.back_delay_spikes,
                 )
             ce.connect_ad(back)
             self.ces.append(ce)
 
         self.dms: list[DataMonitor] = []
         for varname in sorted(workload):
-            dm = DataMonitor(self.kernel, varname, list(workload[varname]))
+            dm = DataMonitor(
+                self.kernel,
+                varname,
+                list(workload[varname]),
+                crash_schedule=config.dm_crash_schedules.get(varname),
+            )
             for index, ce in enumerate(self.ces):
                 front = LossyFifoLink(
                     self.kernel,
@@ -196,9 +224,61 @@ class MonitoringSystem:
                     ),
                     outage_schedule=config.front_outages.get(index),
                     name=f"DM-{varname}->{ce.name}",
+                    loss_model=config.front_loss_model,
+                    duplication=config.front_duplication,
+                    spikes=config.front_delay_spikes,
                 )
                 dm.attach(front)
             self.dms.append(dm)
+        if tracer is not None:
+            self._emit_fault_surface()
+
+    def _emit_fault_surface(self) -> None:
+        """Record the run's planned fault surface as structured events.
+
+        Emitted once, before any simulated event, in a deterministic
+        order — so a trace of a fault-injected run carries the complete
+        fault model (every window and adversary parameter), not just the
+        runtime consequences, and replays bit-identically.
+        """
+        emit = self.kernel.tracer.emit
+        config = self.config
+        for index in sorted(config.crash_schedules):
+            for start, end in config.crash_schedules[index].windows:
+                emit(0.0, "fault", "ce-crash-window", f"CE{index + 1}",
+                     start=start, end=end)
+        for varname in sorted(config.dm_crash_schedules):
+            for start, end in config.dm_crash_schedules[varname].windows:
+                emit(0.0, "fault", "dm-crash-window", f"DM-{varname}",
+                     start=start, end=end)
+        if config.ad_crash_schedule is not None:
+            for start, end in config.ad_crash_schedule.windows:
+                emit(0.0, "fault", "ad-crash-window", "AD", start=start, end=end)
+        for index in sorted(config.front_outages):
+            for start, end in config.front_outages[index].windows:
+                emit(0.0, "fault", "front-outage-window", f"CE{index + 1}",
+                     start=start, end=end)
+        for index in sorted(config.back_outages):
+            for start, end in config.back_outages[index].windows:
+                emit(0.0, "fault", "back-outage-window", f"CE{index + 1}->AD",
+                     start=start, end=end)
+        if config.front_loss_model is not None:
+            params = config.front_loss_model.params
+            emit(0.0, "fault", "burst-loss", "front",
+                 good_to_bad=params.good_to_bad, bad_to_good=params.bad_to_good,
+                 loss_good=params.loss_good, loss_bad=params.loss_bad)
+        if config.front_duplication is not None:
+            emit(0.0, "fault", "duplication", "front",
+                 prob=config.front_duplication.duplicate_prob,
+                 max_copies=config.front_duplication.max_copies)
+        for side, spikes in (
+            ("front", config.front_delay_spikes),
+            ("back", config.back_delay_spikes),
+        ):
+            if spikes is not None:
+                for start, end in spikes.windows:
+                    emit(0.0, "fault", "delay-spike-window", side,
+                         start=start, end=end, factor=spikes.factor)
 
     def run(self) -> RunResult:
         """Execute the workload to quiescence and collect the results."""
@@ -223,6 +303,7 @@ class MonitoringSystem:
             displayed=self.ad.displayed,
             filtered=self.ad.filtered,
             missed_while_down=tuple(ce.missed_while_down for ce in self.ces),
+            dm_suppressed=tuple(dm.suppressed for dm in self.dms),
         )
 
 

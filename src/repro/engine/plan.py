@@ -48,6 +48,7 @@ def plan_table(
     completeness_trials: int | None = None,
     completeness_n_updates: int = 8,
     collect_counters: bool = False,
+    faults=None,
 ) -> TablePlan:
     """Lay out every trial of a table experiment as TrialSpecs.
 
@@ -59,6 +60,10 @@ def plan_table(
     ``collect_counters`` runs every trial under a CountersTracer so the
     folded tallies carry aggregated per-stage observability counters
     (tracing never perturbs results — verdicts are unchanged).
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultProfile`) rides on
+    every spec, so any table can be regenerated "under chaos" with the
+    same seed derivation as its clean counterpart.
     """
     from repro.analysis.tables import TABLE_CONFIG
 
@@ -75,6 +80,7 @@ def plan_table(
                 TrialSpec(
                     matrix, row, algorithm, base_seed + cell_offset + trial,
                     n_updates, collect_counters=collect_counters,
+                    faults=faults,
                 )
             )
         for trial in range(completeness_trials):
@@ -86,6 +92,7 @@ def plan_table(
                     base_seed + COMPLETENESS_SEED_OFFSET + cell_offset + trial,
                     completeness_n_updates,
                     collect_counters=collect_counters,
+                    faults=faults,
                 )
             )
     return TablePlan(table_id, algorithm, multi, trials, tuple(specs))

@@ -12,6 +12,7 @@ table grids.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.props.report import PropertyReport
 from repro.workloads.scenarios import (
@@ -20,6 +21,9 @@ from repro.workloads.scenarios import (
     Scenario,
     run_scenario,
 )
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultProfile
 
 __all__ = ["TrialSpec", "SCENARIO_MATRICES"]
 
@@ -46,6 +50,20 @@ class TrialSpec:
     #: back on the report (``PropertyReport.counters``), so trial batches
     #: can aggregate observability counters across processes.
     collect_counters: bool = False
+    #: Optional fault-injection profile (see :mod:`repro.faults`): the
+    #: run materializes a concrete FaultPlan from its own seed.  A plain
+    #: dict (e.g. reconstructed from a trace header) is converted to a
+    #: FaultProfile, so specs survive the JSONL round trip.
+    faults: "FaultProfile | None" = None
+    #: Also compute ground-truth delivery stats and attach them to the
+    #: report (``PropertyReport.delivery``) — what chaos sweeps aggregate.
+    collect_delivery: bool = False
+
+    def __post_init__(self) -> None:
+        if isinstance(self.faults, dict):
+            from repro.faults.plan import FaultProfile
+
+            object.__setattr__(self, "faults", FaultProfile(**self.faults))
 
     def resolve_scenario(self) -> Scenario:
         scenario = SCENARIO_MATRICES[self.matrix][self.row]
@@ -67,8 +85,21 @@ class TrialSpec:
             n_updates=self.n_updates,
             replication=self.replication,
             tracer=tracer,
+            faults=self.faults,
         )
         report = run.evaluate_properties()
         if tracer is not None:
             report = replace(report, counters=tracer.as_dict())
+        if self.collect_delivery:
+            from repro.analysis.metrics import delivery_stats
+
+            stats = delivery_stats(run)
+            report = replace(
+                report,
+                delivery={
+                    "expected": stats.expected,
+                    "delivered": stats.delivered,
+                    "extraneous": stats.extraneous,
+                },
+            )
         return report

@@ -1,0 +1,240 @@
+"""Chaos sweeps: property survival and alert delivery vs fault intensity.
+
+The paper's availability story (Figure 1) says replication masks CE
+downtime; the property tables say the AD algorithms keep their guarantees
+on whatever alert stream reaches them.  A chaos sweep measures both at
+once under the full fault model: for each (intensity, replication) cell
+it runs seeded trials with :class:`~repro.faults.plan.FaultProfile`
+scaled to the intensity, then reports
+
+* per-property survival rates (fraction of trials with no violation),
+* the minimal violating seed per property — a replayable witness
+  (``repro trace record --chaos``), and
+* ground-truth alert delivery (missed-alert fractions), whose decrease
+  in the replication factor *is* the Figure-1 claim.
+
+Trials fan out through the same :class:`~repro.engine.core.TrialEngine`
+as the table grids, so chaos sweeps parallelise for free.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.engine.spec import TrialSpec
+from repro.faults.plan import DEFAULT_CHAOS_PROFILE, FaultProfile
+from repro.props.report import PropertyReport
+
+__all__ = [
+    "ChaosCell",
+    "chaos_specs",
+    "chaos_sweep",
+    "replication_reduces_misses",
+    "render_chaos_table",
+]
+
+#: Default base seed for chaos sweeps (distinct from the table grids').
+CHAOS_BASE_SEED = 20010900
+
+#: The three properties a cell tracks, in display order.
+PROPERTIES = ("ordered", "complete", "consistent")
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """Folded results of one (intensity, replication) sweep point."""
+
+    intensity: float
+    replication: int
+    trials: int
+    #: Fraction of trials with no violation; ``None`` when the property
+    #: was never decided (completeness checkers can skip big instances).
+    survival: dict[str, float | None]
+    #: Minimal violating seed per property (absent = no violation seen).
+    witness_seeds: dict[str, int]
+    #: Mean ground-truth missed-alert fraction over the cell's trials.
+    mean_miss_fraction: float
+    #: Fraction of trials in which at least one ground-truth alert was
+    #: never displayed.
+    any_miss_fraction: float
+
+
+def chaos_specs(
+    intensity: float,
+    replication: int,
+    trials: int,
+    row: str = "non-historical",
+    matrix: str = "single",
+    algorithm: str = "AD-4",
+    n_updates: int = 30,
+    base_seed: int = CHAOS_BASE_SEED,
+    profile: FaultProfile = DEFAULT_CHAOS_PROFILE,
+) -> list[TrialSpec]:
+    """The trial specs of one sweep cell, in ascending-seed order.
+
+    Seed derivation mirrors :func:`repro.engine.plan.plan_table`: a
+    stable crc32 cell offset, so cells never share seeds and any witness
+    seed pins down its exact trial.
+    """
+    cell = f"chaos/{matrix}/{row}/{algorithm}/{replication}/{intensity:g}"
+    offset = zlib.crc32(cell.encode()) % 100_000
+    faults = profile.scaled(intensity)
+    if faults.is_clean:
+        faults = None
+    return [
+        TrialSpec(
+            matrix,
+            row,
+            algorithm,
+            base_seed + offset + trial,
+            n_updates,
+            replication=replication,
+            faults=faults,
+            collect_delivery=True,
+        )
+        for trial in range(trials)
+    ]
+
+
+def _fold_cell(
+    intensity: float,
+    replication: int,
+    specs: Sequence[TrialSpec],
+    reports: Sequence[PropertyReport],
+) -> ChaosCell:
+    violations = dict.fromkeys(PROPERTIES, 0)
+    checked = dict.fromkeys(PROPERTIES, 0)
+    witnesses: dict[str, int] = {}
+    total_miss = 0.0
+    runs_with_miss = 0
+    for spec, report in zip(specs, reports):
+        for prop, verdict in report.summary.items():
+            if verdict is None:
+                continue
+            checked[prop] += 1
+            if not verdict:
+                violations[prop] += 1
+                if prop not in witnesses or spec.seed < witnesses[prop]:
+                    witnesses[prop] = spec.seed
+        delivery = report.delivery or {}
+        expected = delivery.get("expected", 0)
+        missed = expected - delivery.get("delivered", 0)
+        if expected:
+            total_miss += missed / expected
+        if missed > 0:
+            runs_with_miss += 1
+    trials = len(specs)
+    survival: dict[str, float | None] = {
+        prop: (
+            None
+            if checked[prop] == 0
+            else 1.0 - violations[prop] / checked[prop]
+        )
+        for prop in PROPERTIES
+    }
+    return ChaosCell(
+        intensity=intensity,
+        replication=replication,
+        trials=trials,
+        survival=survival,
+        witness_seeds=witnesses,
+        mean_miss_fraction=total_miss / trials if trials else 0.0,
+        any_miss_fraction=runs_with_miss / trials if trials else 0.0,
+    )
+
+
+def chaos_sweep(
+    intensities: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
+    replications: Sequence[int] = (1, 2, 3),
+    trials: int = 30,
+    row: str = "non-historical",
+    matrix: str = "single",
+    algorithm: str = "AD-4",
+    n_updates: int = 30,
+    base_seed: int = CHAOS_BASE_SEED,
+    profile: FaultProfile = DEFAULT_CHAOS_PROFILE,
+    engine=None,
+) -> list[ChaosCell]:
+    """Sweep fault intensity × replication; one folded cell per point.
+
+    ``engine`` is an optional :class:`~repro.engine.core.TrialEngine`;
+    without one, trials execute inline.  Either way the verdicts are
+    identical — the engine only changes where trials run.
+    """
+    cells: list[ChaosCell] = []
+    for intensity in intensities:
+        for replication in replications:
+            specs = chaos_specs(
+                intensity,
+                replication,
+                trials,
+                row=row,
+                matrix=matrix,
+                algorithm=algorithm,
+                n_updates=n_updates,
+                base_seed=base_seed,
+                profile=profile,
+            )
+            if engine is not None:
+                reports = engine.run(specs)
+            else:
+                reports = [spec.execute() for spec in specs]
+            cells.append(_fold_cell(intensity, replication, specs, reports))
+    return cells
+
+
+def replication_reduces_misses(
+    cells: Sequence[ChaosCell], tolerance: float = 0.02
+) -> bool:
+    """The Figure-1 claim over a sweep: at every intensity, adding a CE
+    never increases the missed-alert fraction by more than ``tolerance``
+    (sampling slack), and it strictly helps somewhere whenever any
+    single-CE cell misses alerts at all."""
+    by_intensity: dict[float, list[ChaosCell]] = {}
+    for cell in cells:
+        by_intensity.setdefault(cell.intensity, []).append(cell)
+    helped = False
+    needs_help = False
+    for intensity, group in by_intensity.items():
+        group = sorted(group, key=lambda c: c.replication)
+        if len(group) < 2:
+            continue
+        for lower, higher in zip(group, group[1:]):
+            if higher.mean_miss_fraction > lower.mean_miss_fraction + tolerance:
+                return False
+        base, best = group[0], group[-1]
+        if base.mean_miss_fraction > tolerance:
+            needs_help = True
+            if best.mean_miss_fraction < base.mean_miss_fraction:
+                helped = True
+    return helped or not needs_help
+
+
+def render_chaos_table(cells: Sequence[ChaosCell]) -> str:
+    """Fixed-width text table of a sweep, one line per cell."""
+
+    def rate(value: float | None) -> str:
+        return "   n/a" if value is None else f"{value:>6.2f}"
+
+    lines = [
+        f"{'chaos':>6} {'CEs':>4} {'ordered':>8} {'complete':>9} "
+        f"{'consistent':>11} {'mean miss':>10} {'any-miss':>9}  witnesses"
+    ]
+    for cell in cells:
+        witnesses = (
+            ", ".join(
+                f"{prop}@{seed}" for prop, seed in sorted(cell.witness_seeds.items())
+            )
+            or "-"
+        )
+        lines.append(
+            f"{cell.intensity:>6g} {cell.replication:>4} "
+            f"{rate(cell.survival['ordered']):>8} "
+            f"{rate(cell.survival['complete']):>9} "
+            f"{rate(cell.survival['consistent']):>11} "
+            f"{cell.mean_miss_fraction:>10.3f} {cell.any_miss_fraction:>9.2f}  "
+            f"{witnesses}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Stochastic fault primitives beyond crash windows.
+
+Three adversaries the link layer can host, all deterministic given the
+link's seeded RNG stream:
+
+* :class:`GilbertElliottParams` / :class:`GilbertElliottLoss` — correlated
+  burst loss.  A two-state Markov chain (Good/Bad) advances one step per
+  datagram; each state has its own loss probability.  Compared with the
+  Bernoulli loss of :class:`~repro.simulation.network.LossyFifoLink`,
+  bursts concentrate losses in time, which is the regime where one CE can
+  miss a whole run of updates while its replica sees them — exactly the
+  divergence replication is supposed to mask.
+* :class:`DuplicationAdversary` — bounded datagram duplication.  UDP can
+  deliver a datagram more than once; the adversary schedules up to
+  ``max_copies`` extra copies of a sent message, each with its own delay
+  draw.  Copies carry the *same* FIFO tag, so the receiver-side order
+  enforcement also deduplicates (at-most-once delivery to the CE).
+* :class:`DelaySpikeSchedule` — congestion windows during which every
+  message sent on an affected link takes ``factor`` times its sampled
+  delay.  Spikes turn front-link FIFO streams bursty and let back-link
+  alerts pile up and interleave adversarially at the AD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+__all__ = [
+    "GilbertElliottParams",
+    "GilbertElliottLoss",
+    "DuplicationAdversary",
+    "DelaySpikeSchedule",
+]
+
+
+@dataclass(frozen=True)
+class GilbertElliottParams:
+    """Parameters of the two-state Gilbert–Elliott loss chain."""
+
+    #: P(Good -> Bad) per datagram.
+    good_to_bad: float = 0.0
+    #: P(Bad -> Good) per datagram.
+    bad_to_good: float = 1.0
+    #: Loss probability while in the Good state.
+    loss_good: float = 0.0
+    #: Loss probability while in the Bad state.
+    loss_bad: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("good_to_bad", "bad_to_good", "loss_good", "loss_bad"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.good_to_bad > 0.0 or self.loss_good > 0.0
+
+    def make_model(self) -> "GilbertElliottLoss":
+        """A fresh stateful chain instance for one run."""
+        return GilbertElliottLoss(self)
+
+
+class GilbertElliottLoss:
+    """Stateful burst-loss chain, one independent state per RNG stream.
+
+    Links each own a dedicated ``random.Random``; keeping the chain state
+    keyed by RNG identity (the :class:`PerLinkSkewDelay` idiom) lets one
+    shared model instance give every link its own independent chain while
+    staying deterministic in the run seed.  Every call consumes exactly
+    two draws from the link's stream: the state transition and the loss
+    coin.
+    """
+
+    def __init__(self, params: GilbertElliottParams) -> None:
+        self.params = params
+        #: id(rng) -> True while that link's chain is in the Bad state.
+        self._bad: dict[int, bool] = {}
+
+    def dropped(self, rng: Random) -> bool:
+        """Advance the chain one datagram; True iff this datagram is lost."""
+        params = self.params
+        key = id(rng)
+        bad = self._bad.get(key, False)
+        transition = rng.random()
+        if bad:
+            if transition < params.bad_to_good:
+                bad = False
+        else:
+            if transition < params.good_to_bad:
+                bad = True
+        self._bad[key] = bad
+        loss_prob = params.loss_bad if bad else params.loss_good
+        return rng.random() < loss_prob
+
+
+@dataclass(frozen=True)
+class DuplicationAdversary:
+    """Bounded datagram duplication on front links."""
+
+    #: Probability a sent datagram is duplicated at all.
+    duplicate_prob: float = 0.0
+    #: Maximum extra copies per duplicated datagram (uniform in 1..max).
+    max_copies: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duplicate_prob <= 1.0:
+            raise ValueError(
+                f"duplicate_prob must be in [0, 1], got {self.duplicate_prob}"
+            )
+        if self.max_copies < 1:
+            raise ValueError(f"max_copies must be >= 1, got {self.max_copies}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.duplicate_prob > 0.0
+
+    def draw_copies(self, rng: Random) -> int:
+        """Number of extra copies for one datagram (0 = no duplication).
+
+        Always consumes exactly two draws so that enabling/disabling
+        duplication is the only thing that shifts a link's RNG stream —
+        the copy count never does.
+        """
+        coin = rng.random()
+        extra = rng.randint(1, self.max_copies)
+        return extra if coin < self.duplicate_prob else 0
+
+
+@dataclass(frozen=True)
+class DelaySpikeSchedule:
+    """Congestion windows multiplying sampled link delays by ``factor``."""
+
+    windows: tuple[tuple[float, float], ...] = ()
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"spike factor must be >= 1, got {self.factor}")
+        previous_end = None
+        for start, end in self.windows:
+            if end < start:
+                raise ValueError(f"spike window end {end} before start {start}")
+            if previous_end is not None and start < previous_end:
+                raise ValueError("spike windows must be sorted and disjoint")
+            previous_end = end
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.windows) and self.factor > 1.0
+
+    def factor_at(self, time: float) -> float:
+        """The delay multiplier in force at simulated ``time``."""
+        for start, end in self.windows:
+            if start <= time <= end:
+                return self.factor
+            if start > time:
+                break
+        return 1.0

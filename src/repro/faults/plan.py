@@ -1,0 +1,467 @@
+"""Composable, deterministic fault plans.
+
+Two layers, mirroring how the rest of the repo separates *what happened*
+from *how it was drawn*:
+
+* :class:`FaultPlan` — the concrete fault surface of one run: per-node
+  crash windows for CEs, DMs and the AD, per-link outage windows, delay
+  spike windows, and the stochastic link adversaries (burst loss,
+  duplication).  Plans compose with :meth:`FaultPlan.merge` and fold into
+  a :class:`~repro.components.system.SystemConfig` with
+  :meth:`FaultPlan.apply_to`.
+* :class:`FaultProfile` — the *distribution* those windows are drawn
+  from: plain scalar rates and probabilities, picklable and
+  JSON-round-trippable, so it can ride on a
+  :class:`~repro.engine.spec.TrialSpec` across process boundaries and
+  through trace headers.  :meth:`FaultProfile.materialize` draws a
+  concrete plan from a run's named RNG streams — fault draws never shift
+  the workload or link streams, so a zero-rate profile is bit-identical
+  to no profile at all.
+
+Intensity sweeps (the ``repro chaos`` CLI) use :meth:`FaultProfile.scaled`
+to turn one profile into a family parameterised by a single chaos knob.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.faults.model import (
+    DelaySpikeSchedule,
+    DuplicationAdversary,
+    GilbertElliottParams,
+)
+from repro.simulation.failures import CrashSchedule, random_crash_schedule
+
+if TYPE_CHECKING:  # avoid repro.components import at module load
+    from repro.components.system import SystemConfig
+    from repro.simulation.rng import RandomStreams
+
+__all__ = ["FaultPlan", "FaultProfile", "DEFAULT_CHAOS_PROFILE"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The concrete fault surface of one run."""
+
+    #: CE index -> crash windows (updates delivered while down are missed).
+    ce_crashes: Mapping[int, CrashSchedule] = field(default_factory=dict)
+    #: Variable name -> DM crash windows (readings while down never sent).
+    dm_crashes: Mapping[str, CrashSchedule] = field(default_factory=dict)
+    #: AD (PDA) downtime; back links store-and-forward across it.
+    ad_crash: CrashSchedule | None = None
+    #: CE index -> front-link outage windows (datagrams lost, no retransmit).
+    front_outages: Mapping[int, CrashSchedule] = field(default_factory=dict)
+    #: CE index -> back-link outage windows (TCP stalls: delayed, not lost).
+    back_outages: Mapping[int, CrashSchedule] = field(default_factory=dict)
+    #: Correlated burst loss replacing Bernoulli loss on front links.
+    burst_loss: GilbertElliottParams | None = None
+    #: Bounded duplication adversary on front links.
+    duplication: DuplicationAdversary | None = None
+    #: Congestion windows on front / back links.
+    front_delay_spikes: DelaySpikeSchedule | None = None
+    back_delay_spikes: DelaySpikeSchedule | None = None
+
+    @classmethod
+    def clean(cls) -> "FaultPlan":
+        return cls()
+
+    @property
+    def is_clean(self) -> bool:
+        """True iff applying this plan cannot perturb a run."""
+        return (
+            not any(s.windows for s in self.ce_crashes.values())
+            and not any(s.windows for s in self.dm_crashes.values())
+            and (self.ad_crash is None or not self.ad_crash.windows)
+            and not any(s.windows for s in self.front_outages.values())
+            and not any(s.windows for s in self.back_outages.values())
+            and (self.burst_loss is None or not self.burst_loss.enabled)
+            and (self.duplication is None or not self.duplication.enabled)
+            and (
+                self.front_delay_spikes is None
+                or not self.front_delay_spikes.enabled
+            )
+            and (
+                self.back_delay_spikes is None
+                or not self.back_delay_spikes.enabled
+            )
+        )
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans: down whenever either is down.
+
+        Window maps merge per key with :meth:`CrashSchedule.union`; for
+        the stochastic adversaries and spike schedules ``other`` wins
+        where both plans set one (last-writer-wins, like config overlays).
+        """
+
+        def merged(a: Mapping, b: Mapping) -> dict:
+            out = dict(a)
+            for key, schedule in b.items():
+                out[key] = out[key].union(schedule) if key in out else schedule
+            return out
+
+        ad_crash = self.ad_crash
+        if other.ad_crash is not None:
+            ad_crash = (
+                other.ad_crash if ad_crash is None else ad_crash.union(other.ad_crash)
+            )
+        return FaultPlan(
+            ce_crashes=merged(self.ce_crashes, other.ce_crashes),
+            dm_crashes=merged(self.dm_crashes, other.dm_crashes),
+            ad_crash=ad_crash,
+            front_outages=merged(self.front_outages, other.front_outages),
+            back_outages=merged(self.back_outages, other.back_outages),
+            burst_loss=other.burst_loss or self.burst_loss,
+            duplication=other.duplication or self.duplication,
+            front_delay_spikes=other.front_delay_spikes or self.front_delay_spikes,
+            back_delay_spikes=other.back_delay_spikes or self.back_delay_spikes,
+        )
+
+    def apply_to(self, config: "SystemConfig") -> "SystemConfig":
+        """Fold this plan into a system config (returns a new config).
+
+        Existing config fault fields are merged, not replaced: a scenario
+        that already crashes CE 0 keeps those windows, unioned with the
+        plan's.  A clean plan returns the config unchanged, so the
+        faults-off path is exactly the pre-faults path.
+        """
+        if self.is_clean:
+            return config
+
+        def merged(a: Mapping, b: Mapping) -> dict:
+            out = dict(a)
+            for key, schedule in b.items():
+                out[key] = out[key].union(schedule) if key in out else schedule
+            return out
+
+        ad_crash = config.ad_crash_schedule
+        if self.ad_crash is not None and self.ad_crash.windows:
+            ad_crash = (
+                self.ad_crash if ad_crash is None else ad_crash.union(self.ad_crash)
+            )
+        return replace(
+            config,
+            crash_schedules=merged(config.crash_schedules, self.ce_crashes),
+            dm_crash_schedules=merged(config.dm_crash_schedules, self.dm_crashes),
+            ad_crash_schedule=ad_crash,
+            front_outages=merged(config.front_outages, self.front_outages),
+            back_outages=merged(config.back_outages, self.back_outages),
+            front_loss_model=(
+                self.burst_loss.make_model()
+                if self.burst_loss is not None and self.burst_loss.enabled
+                else config.front_loss_model
+            ),
+            front_duplication=self.duplication or config.front_duplication,
+            front_delay_spikes=self.front_delay_spikes or config.front_delay_spikes,
+            back_delay_spikes=self.back_delay_spikes or config.back_delay_spikes,
+        )
+
+    # -- serialization -------------------------------------------------------
+    def to_json_obj(self) -> dict[str, Any]:
+        def windows(schedule: CrashSchedule) -> list[list[float]]:
+            return [[s, e] for s, e in schedule.windows]
+
+        obj: dict[str, Any] = {
+            "ce_crashes": {str(k): windows(v) for k, v in sorted(self.ce_crashes.items())},
+            "dm_crashes": {k: windows(v) for k, v in sorted(self.dm_crashes.items())},
+            "ad_crash": None if self.ad_crash is None else windows(self.ad_crash),
+            "front_outages": {
+                str(k): windows(v) for k, v in sorted(self.front_outages.items())
+            },
+            "back_outages": {
+                str(k): windows(v) for k, v in sorted(self.back_outages.items())
+            },
+            "burst_loss": None,
+            "duplication": None,
+            "front_delay_spikes": None,
+            "back_delay_spikes": None,
+        }
+        if self.burst_loss is not None:
+            obj["burst_loss"] = {
+                "good_to_bad": self.burst_loss.good_to_bad,
+                "bad_to_good": self.burst_loss.bad_to_good,
+                "loss_good": self.burst_loss.loss_good,
+                "loss_bad": self.burst_loss.loss_bad,
+            }
+        if self.duplication is not None:
+            obj["duplication"] = {
+                "duplicate_prob": self.duplication.duplicate_prob,
+                "max_copies": self.duplication.max_copies,
+            }
+        for key, spikes in (
+            ("front_delay_spikes", self.front_delay_spikes),
+            ("back_delay_spikes", self.back_delay_spikes),
+        ):
+            if spikes is not None:
+                obj[key] = {
+                    "windows": [[s, e] for s, e in spikes.windows],
+                    "factor": spikes.factor,
+                }
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping[str, Any]) -> "FaultPlan":
+        def schedule(windows: Sequence[Sequence[float]]) -> CrashSchedule:
+            return CrashSchedule.from_windows(windows)
+
+        def spikes(value: Mapping[str, Any] | None) -> DelaySpikeSchedule | None:
+            if value is None:
+                return None
+            return DelaySpikeSchedule(
+                windows=tuple((float(s), float(e)) for s, e in value["windows"]),
+                factor=float(value["factor"]),
+            )
+
+        burst = obj.get("burst_loss")
+        dup = obj.get("duplication")
+        return cls(
+            ce_crashes={
+                int(k): schedule(v) for k, v in obj.get("ce_crashes", {}).items()
+            },
+            dm_crashes={
+                k: schedule(v) for k, v in obj.get("dm_crashes", {}).items()
+            },
+            ad_crash=(
+                None if obj.get("ad_crash") is None else schedule(obj["ad_crash"])
+            ),
+            front_outages={
+                int(k): schedule(v) for k, v in obj.get("front_outages", {}).items()
+            },
+            back_outages={
+                int(k): schedule(v) for k, v in obj.get("back_outages", {}).items()
+            },
+            burst_loss=None if burst is None else GilbertElliottParams(**burst),
+            duplication=None if dup is None else DuplicationAdversary(**dup),
+            front_delay_spikes=spikes(obj.get("front_delay_spikes")),
+            back_delay_spikes=spikes(obj.get("back_delay_spikes")),
+        )
+
+
+#: Profile fields that scale linearly with chaos intensity (rates and
+#: entry probabilities).  Mean durations and recovery probabilities stay
+#: fixed — intensity makes faults *more frequent*, not longer.
+_SCALED_FIELDS = (
+    "ce_crash_rate",
+    "dm_crash_rate",
+    "ad_crash_rate",
+    "front_outage_rate",
+    "back_outage_rate",
+    "burst_good_to_bad",
+    "burst_loss_good",
+    "duplicate_prob",
+    "delay_spike_rate",
+)
+#: Probability-valued fields among the scaled set (clamped to [0, 1]).
+_PROB_FIELDS = {"burst_good_to_bad", "burst_loss_good", "duplicate_prob"}
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Scalar fault-distribution knobs; the picklable spec-level carrier.
+
+    All-zero rates (the default) materialize to a clean plan, so a
+    profile is safe to thread everywhere unconditionally.  Rates are per
+    unit of simulated time (readings arrive every 10 units); ``mean_*``
+    are exponential means.
+    """
+
+    ce_crash_rate: float = 0.0
+    ce_mean_repair: float = 0.0
+    dm_crash_rate: float = 0.0
+    dm_mean_repair: float = 0.0
+    ad_crash_rate: float = 0.0
+    ad_mean_repair: float = 0.0
+    front_outage_rate: float = 0.0
+    front_mean_outage: float = 0.0
+    back_outage_rate: float = 0.0
+    back_mean_outage: float = 0.0
+    burst_good_to_bad: float = 0.0
+    burst_bad_to_good: float = 1.0
+    burst_loss_good: float = 0.0
+    burst_loss_bad: float = 0.0
+    duplicate_prob: float = 0.0
+    max_duplicates: int = 1
+    delay_spike_rate: float = 0.0
+    delay_spike_mean: float = 0.0
+    delay_spike_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value < 0:
+                raise ValueError(f"{f.name} must be non-negative, got {value}")
+
+    @property
+    def is_clean(self) -> bool:
+        """True iff materialization always yields a clean plan."""
+        return (
+            self.ce_crash_rate == 0
+            and self.dm_crash_rate == 0
+            and self.ad_crash_rate == 0
+            and self.front_outage_rate == 0
+            and self.back_outage_rate == 0
+            and not GilbertElliottParams(
+                self.burst_good_to_bad,
+                min(self.burst_bad_to_good, 1.0),
+                self.burst_loss_good,
+                self.burst_loss_bad,
+            ).enabled
+            and self.duplicate_prob == 0
+            and self.delay_spike_rate == 0
+        )
+
+    def scaled(self, intensity: float) -> "FaultProfile":
+        """This profile with every fault *rate* scaled by ``intensity``.
+
+        ``intensity = 0`` is a clean profile; ``1`` is this profile;
+        ``> 1`` turns the dials up (probabilities clamp at 1).  The spike
+        delay factor interpolates as ``1 + (factor - 1) * intensity``.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be non-negative, got {intensity}")
+        changes: dict[str, float] = {}
+        for name in _SCALED_FIELDS:
+            value = getattr(self, name) * intensity
+            if name in _PROB_FIELDS:
+                value = min(value, 1.0)
+            changes[name] = value
+        changes["delay_spike_factor"] = (
+            1.0 + (self.delay_spike_factor - 1.0) * intensity
+        )
+        return replace(self, **changes)
+
+    def materialize(
+        self,
+        streams: "RandomStreams",
+        horizon: float,
+        replication: int,
+        variables: Sequence[str],
+    ) -> FaultPlan:
+        """Draw one concrete plan from named streams of the run seed.
+
+        Every draw comes from a ``faults/...`` stream, so materializing a
+        plan never shifts the workload or link randomness — a clean
+        profile leaves the run bit-identical to no profile at all.
+        """
+        ce_crashes: dict[int, CrashSchedule] = {}
+        front_outages: dict[int, CrashSchedule] = {}
+        back_outages: dict[int, CrashSchedule] = {}
+        for index in range(replication):
+            if self.ce_crash_rate > 0:
+                ce_crashes[index] = random_crash_schedule(
+                    streams.stream(f"faults/ce/{index}"),
+                    horizon,
+                    self.ce_crash_rate,
+                    self.ce_mean_repair,
+                )
+            if self.front_outage_rate > 0:
+                front_outages[index] = random_crash_schedule(
+                    streams.stream(f"faults/front-outage/{index}"),
+                    horizon,
+                    self.front_outage_rate,
+                    self.front_mean_outage,
+                )
+            if self.back_outage_rate > 0:
+                back_outages[index] = random_crash_schedule(
+                    streams.stream(f"faults/back-outage/{index}"),
+                    horizon,
+                    self.back_outage_rate,
+                    self.back_mean_outage,
+                )
+        dm_crashes: dict[str, CrashSchedule] = {}
+        if self.dm_crash_rate > 0:
+            for varname in sorted(variables):
+                dm_crashes[varname] = random_crash_schedule(
+                    streams.stream(f"faults/dm/{varname}"),
+                    horizon,
+                    self.dm_crash_rate,
+                    self.dm_mean_repair,
+                )
+        ad_crash = None
+        if self.ad_crash_rate > 0:
+            ad_crash = random_crash_schedule(
+                streams.stream("faults/ad"),
+                horizon,
+                self.ad_crash_rate,
+                self.ad_mean_repair,
+            )
+        burst = GilbertElliottParams(
+            good_to_bad=min(self.burst_good_to_bad, 1.0),
+            bad_to_good=min(self.burst_bad_to_good, 1.0),
+            loss_good=min(self.burst_loss_good, 1.0),
+            loss_bad=min(self.burst_loss_bad, 1.0),
+        )
+        duplication = DuplicationAdversary(
+            duplicate_prob=min(self.duplicate_prob, 1.0),
+            max_copies=max(1, int(self.max_duplicates)),
+        )
+        front_spikes = back_spikes = None
+        if self.delay_spike_rate > 0 and self.delay_spike_factor > 1.0:
+            front_spikes = DelaySpikeSchedule(
+                windows=random_crash_schedule(
+                    streams.stream("faults/spike/front"),
+                    horizon,
+                    self.delay_spike_rate,
+                    self.delay_spike_mean,
+                ).windows,
+                factor=self.delay_spike_factor,
+            )
+            back_spikes = DelaySpikeSchedule(
+                windows=random_crash_schedule(
+                    streams.stream("faults/spike/back"),
+                    horizon,
+                    self.delay_spike_rate,
+                    self.delay_spike_mean,
+                ).windows,
+                factor=self.delay_spike_factor,
+            )
+        return FaultPlan(
+            ce_crashes=ce_crashes,
+            dm_crashes=dm_crashes,
+            ad_crash=ad_crash,
+            front_outages=front_outages,
+            back_outages=back_outages,
+            burst_loss=burst if burst.enabled else None,
+            duplication=duplication if duplication.enabled else None,
+            front_delay_spikes=front_spikes,
+            back_delay_spikes=back_spikes,
+        )
+
+    @classmethod
+    def chaos_default(cls) -> "FaultProfile":
+        """The reference chaos profile the CLI sweeps.
+
+        At intensity 1 roughly one CE crash and one outage per ~120
+        simulated time units (a 30-reading run spans ~300), short repair
+        times, moderate bursts, rare duplication, occasional 6x
+        congestion spikes — enough that every fault class fires in most
+        trials without drowning the workload entirely.
+        """
+        return cls(
+            ce_crash_rate=0.008,
+            ce_mean_repair=50.0,
+            dm_crash_rate=0.004,
+            dm_mean_repair=30.0,
+            ad_crash_rate=0.006,
+            ad_mean_repair=40.0,
+            front_outage_rate=0.006,
+            front_mean_outage=30.0,
+            back_outage_rate=0.004,
+            back_mean_outage=25.0,
+            burst_good_to_bad=0.15,
+            burst_bad_to_good=0.4,
+            burst_loss_good=0.02,
+            burst_loss_bad=0.7,
+            duplicate_prob=0.08,
+            max_duplicates=2,
+            delay_spike_rate=0.004,
+            delay_spike_mean=40.0,
+            delay_spike_factor=6.0,
+        )
+
+
+#: The profile ``repro chaos`` and ``repro trace record --chaos`` scale.
+DEFAULT_CHAOS_PROFILE = FaultProfile.chaos_default()

@@ -104,6 +104,7 @@ def record_trial(spec) -> RecordedTrace:
         n_updates=spec.n_updates,
         replication=spec.replication,
         tracer=recorder,
+        faults=getattr(spec, "faults", None),
     )
     return RecordedTrace(
         spec=_canonical(asdict(spec)),

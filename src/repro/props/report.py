@@ -83,6 +83,12 @@ class PropertyReport:
     #: ``TrialSpec.collect_counters``.  Excluded from equality so traced
     #: and untraced reports of the same run still compare equal.
     counters: dict[str, int] | None = field(default=None, compare=False)
+    #: Optional ground-truth delivery stats (``expected`` / ``delivered``
+    #: / ``extraneous``) from :func:`repro.analysis.metrics.delivery_stats`,
+    #: attached when the trial ran with ``TrialSpec.collect_delivery`` —
+    #: what the chaos sweeps aggregate into missed-alert fractions.
+    #: Excluded from equality like ``counters``.
+    delivery: dict[str, int] | None = field(default=None, compare=False)
 
     @property
     def completeness_decided(self) -> bool:

@@ -57,6 +57,21 @@ class CrashSchedule:
     def total_downtime(self) -> float:
         return sum(end - start for start, end in self.windows)
 
+    def union(self, other: "CrashSchedule") -> "CrashSchedule":
+        """The schedule that is down whenever either input is down.
+
+        Overlapping and touching windows are coalesced, so the result
+        satisfies the sorted-and-disjoint invariant — this is how
+        composed fault plans merge their downtime contributions.
+        """
+        merged: list[tuple[float, float]] = []
+        for start, end in sorted(self.windows + other.windows):
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return CrashSchedule(tuple(merged))
+
     def next_up_time(self, time: float, epsilon: float = 1e-6) -> float:
         """Earliest instant at or after ``time`` when the node is up.
 

@@ -128,17 +128,29 @@ class Link:
         delay: DelayModel,
         rng: Random,
         name: str = "",
+        spikes=None,
     ) -> None:
         self.kernel = kernel
         self.receiver = receiver
         self.delay = delay
         self.rng = rng
         self.name = name
+        #: Optional DelaySpikeSchedule (see :mod:`repro.faults.model`):
+        #: congestion windows multiplying sampled delays.  None — the
+        #: default — keeps the delay path exactly as before.
+        self.spikes = spikes
         self.sent = 0
         self.delivered = 0
 
     def send(self, message: Any) -> None:
         raise NotImplementedError
+
+    def _sample_delay(self) -> float:
+        """One propagation delay draw, spike-adjusted when spiking."""
+        delay = self.delay.sample(self.rng)
+        if self.spikes is not None:
+            delay *= self.spikes.factor_at(self.kernel.now)
+        return delay
 
     def _trace(self, kind: str, message: Any, **data: Any) -> None:
         """Emit a link-stage event (callers gate on ``kernel.tracer``)."""
@@ -165,8 +177,11 @@ class LossyFifoLink(Link):
         loss_prob: float = 0.0,
         outage_schedule=None,
         name: str = "",
+        loss_model=None,
+        duplication=None,
+        spikes=None,
     ) -> None:
-        super().__init__(kernel, receiver, delay, rng, name)
+        super().__init__(kernel, receiver, delay, rng, name, spikes=spikes)
         if not 0.0 <= loss_prob <= 1.0:
             raise ValueError(f"loss_prob must be in [0, 1], got {loss_prob}")
         self.loss_prob = loss_prob
@@ -175,9 +190,18 @@ class LossyFifoLink(Link):
         #: service".  A datagram sent while the link is down is lost (no
         #: retransmission on front links).
         self.outage_schedule = outage_schedule
+        #: Optional correlated-loss model (GilbertElliottLoss).  When set
+        #: it replaces the Bernoulli ``loss_prob`` coin entirely.
+        self.loss_model = loss_model
+        #: Optional DuplicationAdversary: extra same-tag copies of a sent
+        #: datagram, each with its own delay draw.  The receiver-side tag
+        #: check deduplicates, so the CE still sees at-most-once delivery.
+        self.duplication = duplication
         self.lost = 0
         self.lost_to_outage = 0
         self.reorder_drops = 0
+        self.duplicates_sent = 0
+        self.duplicates_dropped = 0
         self._send_tag = 0
         self._last_delivered_tag = -1
 
@@ -195,23 +219,47 @@ class LossyFifoLink(Link):
             if traced:
                 self._trace("drop", message, tag=tag, reason="outage")
             return
-        if self.rng.random() < self.loss_prob:
+        if self.loss_model is not None:
+            if self.loss_model.dropped(self.rng):
+                self.lost += 1
+                if traced:
+                    self._trace("drop", message, tag=tag, reason="burst")
+                return
+        elif self.rng.random() < self.loss_prob:
             self.lost += 1
             if traced:
                 self._trace("drop", message, tag=tag, reason="loss")
             return
-        delay = self.delay.sample(self.rng)
+        delay = self._sample_delay()
         self.kernel.schedule(
             delay, lambda: self._arrive(tag, message), note=f"{self.name} deliver"
         )
+        if self.duplication is not None:
+            for _ in range(self.duplication.draw_copies(self.rng)):
+                self.duplicates_sent += 1
+                if traced:
+                    self._trace("duplicate", message, tag=tag)
+                self.kernel.schedule(
+                    self._sample_delay(),
+                    lambda: self._arrive(tag, message),
+                    note=f"{self.name} dup-deliver",
+                )
 
     def _arrive(self, tag: int, message: Any) -> None:
-        if tag < self._last_delivered_tag:
-            # A later-sent message already arrived: discard to preserve the
-            # in-order guarantee (the paper's seqno-tagging mechanism).
-            self.reorder_drops += 1
-            if self.kernel.tracer is not None:
-                self._trace("drop", message, tag=tag, reason="reorder")
+        if tag <= self._last_delivered_tag:
+            # A later-sent (or identical — a duplicated copy) message has
+            # already been delivered: discard to preserve the in-order,
+            # at-most-once guarantee (the paper's seqno-tagging mechanism).
+            # Unique tags make equality impossible without duplication, so
+            # duplication-free runs behave exactly as before.
+            if tag == self._last_delivered_tag:
+                self.duplicates_dropped += 1
+                if self.kernel.tracer is not None:
+                    self._trace("drop", message, tag=tag, reason="duplicate")
+            else:
+                self.reorder_drops += 1
+                if self.kernel.tracer is not None:
+                    self._trace("drop", message, tag=tag, reason="reorder")
             return
         self._last_delivered_tag = tag
         self.delivered += 1
@@ -239,10 +287,17 @@ class StoreAndForwardLink(Link):
         rng: Random,
         availability,
         name: str = "",
+        outage_schedule=None,
+        spikes=None,
     ) -> None:
-        super().__init__(kernel, receiver, delay, rng, name)
+        super().__init__(kernel, receiver, delay, rng, name, spikes=spikes)
         self.availability = availability
+        #: Optional CrashSchedule for the link itself.  Back links are
+        #: TCP-like, so an outage stalls delivery (retransmission after
+        #: the link recovers) instead of losing the message.
+        self.outage_schedule = outage_schedule
         self.redelivered = 0
+        self.stalled_by_outage = 0
         self._last_delivery_time = 0.0
 
     def send(self, message: Any) -> None:
@@ -250,7 +305,14 @@ class StoreAndForwardLink(Link):
         traced = self.kernel.tracer is not None
         if traced:
             self._trace("send", message)
-        raw = self.kernel.now + self.delay.sample(self.rng)
+        raw = self.kernel.now + self._sample_delay()
+        if self.outage_schedule is not None:
+            up_at = self.outage_schedule.next_up_time(raw)
+            if up_at > raw:
+                self.stalled_by_outage += 1
+                if traced:
+                    self._trace("hold", message, until=up_at, reason="outage")
+                raw = up_at
         delivery_time = max(raw, self._last_delivery_time)
         # If the receiver is down at the nominal delivery instant, the
         # message waits (logged at the CE) until the next up-time.
@@ -282,15 +344,29 @@ class ReliableLink(Link):
         delay: DelayModel,
         rng: Random,
         name: str = "",
+        outage_schedule=None,
+        spikes=None,
     ) -> None:
-        super().__init__(kernel, receiver, delay, rng, name)
+        super().__init__(kernel, receiver, delay, rng, name, spikes=spikes)
+        #: Optional CrashSchedule for the link itself (TCP: outage stalls
+        #: delivery until the link recovers, losing nothing).
+        self.outage_schedule = outage_schedule
+        self.stalled_by_outage = 0
         self._last_delivery_time = 0.0
 
     def send(self, message: Any) -> None:
         self.sent += 1
-        if self.kernel.tracer is not None:
+        traced = self.kernel.tracer is not None
+        if traced:
             self._trace("send", message)
-        raw = self.kernel.now + self.delay.sample(self.rng)
+        raw = self.kernel.now + self._sample_delay()
+        if self.outage_schedule is not None:
+            up_at = self.outage_schedule.next_up_time(raw)
+            if up_at > raw:
+                self.stalled_by_outage += 1
+                if traced:
+                    self._trace("hold", message, until=up_at, reason="outage")
+                raw = up_at
         # TCP semantics: a segment sent later is delivered later, so the
         # delivery time is clamped to be monotone per link.
         delivery_time = max(raw, self._last_delivery_time)

@@ -37,6 +37,8 @@ __all__ = [
     "MULTI_VARIABLE_SCENARIOS",
     "cm_historical",
     "run_scenario",
+    "fault_horizon",
+    "FAULT_HORIZON_SLACK",
 ]
 
 #: Row order of Tables 1-3.
@@ -192,6 +194,16 @@ MULTI_VARIABLE_SCENARIOS: Mapping[str, Scenario] = {
 }
 
 
+#: Fault windows are drawn over the workload span plus this slack, so the
+#: delivery tail after the last reading still sees faults.
+FAULT_HORIZON_SLACK = 80.0
+
+
+def fault_horizon(n_updates: int) -> float:
+    """The time span a scenario's fault plan is drawn over."""
+    return n_updates * 10.0 + FAULT_HORIZON_SLACK
+
+
 def run_scenario(
     scenario: Scenario,
     ad_algorithm: str,
@@ -200,12 +212,19 @@ def run_scenario(
     replication: int = 2,
     crash_schedules: Mapping[int, CrashSchedule] | None = None,
     tracer: object | None = None,
+    faults: object | None = None,
 ) -> RunResult:
     """Run one randomized trial of a scenario under an AD algorithm.
 
     ``tracer`` (see :mod:`repro.observability`) observes the run; tracing
     never perturbs the simulation, so traced and untraced runs of the same
     ``(scenario, seed)`` produce identical results.
+
+    ``faults`` (a :class:`~repro.faults.plan.FaultProfile`) materializes a
+    concrete fault plan from the run's own named RNG streams and folds it
+    into the config.  Fault draws come from dedicated ``faults/...``
+    streams, so a clean profile (or ``None``) leaves the run bit-identical
+    to the faults-free path.
     """
     streams = RandomStreams(seed)
     condition = scenario.make_condition()
@@ -220,4 +239,12 @@ def run_scenario(
         crash_schedules=dict(crash_schedules or {}),
         **config_kwargs,
     )
+    if faults is not None:
+        plan = faults.materialize(
+            streams,
+            horizon=fault_horizon(n_updates),
+            replication=replication,
+            variables=sorted(workload),
+        )
+        config = plan.apply_to(config)
     return run_system(condition, workload, config, seed=seed, tracer=tracer)

@@ -11,6 +11,7 @@ in the same order, and the same final :class:`RunMetrics`.
 from hypothesis import given, settings, strategies as st
 
 from repro.engine.spec import TrialSpec
+from repro.faults import DEFAULT_CHAOS_PROFILE
 from repro.observability import load_trace, record_trial, replay_trace
 from repro.workloads.scenarios import ROW_ORDER
 
@@ -19,6 +20,9 @@ rows = st.sampled_from(list(ROW_ORDER))
 seeds = st.integers(0, 2**31)
 algorithms_single = st.sampled_from(["pass", "AD-1", "AD-2", "AD-3", "AD-4"])
 algorithms_multi = st.sampled_from(["pass", "AD-1", "AD-5", "AD-6"])
+#: Chaos intensities guaranteeing a non-clean profile (crashes, outages,
+#: burst loss, duplication and delay spikes all active).
+intensities = st.floats(0.25, 3.0, allow_nan=False, allow_infinity=False)
 
 
 def _spec(matrix: str, row: str, algorithm: str, seed: int, n: int) -> TrialSpec:
@@ -53,6 +57,55 @@ def test_replay_survives_a_file_round_trip(tmp_path_factory, row, seed, n):
     loaded = load_trace(path)
     assert loaded.event_lines() == trace.event_lines()
     assert loaded.metrics == trace.metrics
+    assert replay_trace(loaded).identical
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows, algorithms_single, seeds, st.integers(4, 12), intensities)
+def test_fault_injected_replay_is_bit_identical(row, algorithm, seed, n, chaos):
+    """Record→replay stays bit-identical with the full fault model on:
+    crashes, link outages, burst loss, duplication and delay spikes are
+    all re-materialized from the spec alone."""
+    spec = TrialSpec(
+        "single", row, algorithm, seed, n,
+        faults=DEFAULT_CHAOS_PROFILE.scaled(chaos),
+    )
+    trace = record_trial(spec)
+    # The injected fault surface must itself be part of the record ...
+    assert any(event.stage == "fault" for event in trace.events)
+    # ... and the replay (spec reconstructed from the header dict,
+    # FaultProfile included) must reproduce every event bit for bit.
+    result = replay_trace(trace)
+    assert result.identical, result.describe()
+
+
+@settings(max_examples=8, deadline=None)
+@given(rows, algorithms_multi, seeds, st.integers(4, 8), intensities)
+def test_multi_variable_fault_replay_is_bit_identical(row, algorithm, seed, n, chaos):
+    spec = TrialSpec(
+        "multi", row, algorithm, seed, n,
+        faults=DEFAULT_CHAOS_PROFILE.scaled(chaos),
+    )
+    result = replay_trace(record_trial(spec))
+    assert result.identical, result.describe()
+
+
+@settings(max_examples=8, deadline=None)
+@given(rows, seeds, st.integers(4, 10), intensities)
+def test_fault_replay_survives_a_file_round_trip(
+    tmp_path_factory, row, seed, n, chaos
+):
+    """The FaultProfile rides the JSONL header: serialise → parse →
+    replay must re-inject the same faults."""
+    spec = TrialSpec(
+        "single", row, "AD-4", seed, n,
+        faults=DEFAULT_CHAOS_PROFILE.scaled(chaos),
+    )
+    trace = record_trial(spec)
+    path = tmp_path_factory.mktemp("traces") / "chaos.jsonl"
+    trace.write(path)
+    loaded = load_trace(path)
+    assert loaded.event_lines() == trace.event_lines()
     assert replay_trace(loaded).identical
 
 

@@ -84,6 +84,88 @@ class TestCrashSchedule:
         assert schedule.windows == ((1.0, 2.0), (5.0, 6.0))
 
 
+class TestNextUpTime:
+    def test_up_now_returns_query_time(self):
+        schedule = CrashSchedule(((10.0, 20.0),))
+        assert schedule.next_up_time(5.0) == 5.0
+        assert schedule.next_up_time(25.0) == 25.0
+
+    def test_never_crashed_is_identity(self):
+        assert CrashSchedule.never().next_up_time(123.4) == 123.4
+
+    def test_window_starting_exactly_at_query_time(self):
+        # Windows are closed: a window that *starts* at the query instant
+        # already holds the node down.
+        schedule = CrashSchedule(((10.0, 20.0),))
+        assert schedule.next_up_time(10.0) == pytest.approx(20.0 + 1e-6)
+
+    def test_window_ending_exactly_at_query_time(self):
+        # ... and one that *ends* there still does (closed on both sides).
+        schedule = CrashSchedule(((10.0, 20.0),))
+        assert schedule.next_up_time(20.0) == pytest.approx(20.0 + 1e-6)
+
+    def test_chains_across_adjacent_windows(self):
+        # Recovery at end + epsilon lands inside the next window when the
+        # windows are closer than epsilon apart: recovery chains through.
+        schedule = CrashSchedule(((10.0, 20.0), (20.0 + 1e-7, 30.0)))
+        assert schedule.next_up_time(15.0) == pytest.approx(30.0 + 1e-6)
+
+    def test_gap_wider_than_epsilon_does_not_chain(self):
+        schedule = CrashSchedule(((10.0, 20.0), (21.0, 30.0)))
+        assert schedule.next_up_time(15.0) == pytest.approx(20.0 + 1e-6)
+
+    def test_zero_width_window(self):
+        # mean_repair=0 produces (t, t) windows; the node is down for the
+        # single instant t and back up epsilon later.
+        schedule = CrashSchedule(((10.0, 10.0),))
+        assert schedule.next_up_time(10.0) == pytest.approx(10.0 + 1e-6)
+        assert schedule.next_up_time(9.999) == 9.999
+
+    def test_zero_width_windows_from_zero_mean_repair(self):
+        schedule = random_crash_schedule(random.Random(2), 200.0, 0.05, 0.0)
+        assert schedule.windows  # the rate guarantees some crashes
+        assert all(start == end for start, end in schedule.windows)
+        for start, _ in schedule.windows:
+            assert schedule.next_up_time(start) == pytest.approx(start + 1e-6)
+
+    def test_epsilon_recovery_is_deterministic(self):
+        schedule = CrashSchedule(((10.0, 20.0), (40.0, 50.0)))
+        times = [schedule.next_up_time(t) for t in (10.0, 15.0, 20.0)]
+        assert times == [schedule.next_up_time(t) for t in (10.0, 15.0, 20.0)]
+        assert len(set(times)) == 1
+
+    def test_custom_epsilon(self):
+        schedule = CrashSchedule(((10.0, 20.0),))
+        assert schedule.next_up_time(15.0, epsilon=0.5) == 20.5
+
+
+class TestCrashScheduleUnion:
+    def test_disjoint_windows_concatenate(self):
+        a = CrashSchedule(((1.0, 2.0),))
+        b = CrashSchedule(((5.0, 6.0),))
+        assert a.union(b).windows == ((1.0, 2.0), (5.0, 6.0))
+
+    def test_overlapping_windows_coalesce(self):
+        a = CrashSchedule(((1.0, 4.0),))
+        b = CrashSchedule(((3.0, 6.0), (10.0, 11.0)))
+        assert a.union(b).windows == ((1.0, 6.0), (10.0, 11.0))
+
+    def test_touching_windows_coalesce(self):
+        a = CrashSchedule(((1.0, 2.0),))
+        b = CrashSchedule(((2.0, 3.0),))
+        assert a.union(b).windows == ((1.0, 3.0),)
+
+    def test_union_with_never_is_identity(self):
+        a = CrashSchedule(((1.0, 2.0),))
+        assert a.union(CrashSchedule.never()) == a
+        assert CrashSchedule.never().union(a) == a
+
+    def test_commutative(self):
+        a = CrashSchedule(((1.0, 3.0), (8.0, 9.0)))
+        b = CrashSchedule(((2.0, 5.0),))
+        assert a.union(b) == b.union(a)
+
+
 class TestRandomCrashSchedule:
     def test_zero_rate_never_crashes(self):
         schedule = random_crash_schedule(random.Random(0), 1000.0, 0.0, 10.0)

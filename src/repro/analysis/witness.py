@@ -36,6 +36,7 @@ __all__ = [
     "Counterexample",
     "Violation",
     "find_violation",
+    "violates",
     "replay",
     "shrink_counterexample",
     "counterexample_from_run",
@@ -97,6 +98,18 @@ def find_violation(report: PropertyReport) -> Violation | None:
     return None
 
 
+def violates(report: PropertyReport, target: Violation) -> bool:
+    """True iff the report *decides* ``target`` and decides it violated.
+
+    A skipped or undecided checker (summary value ``None``) is never a
+    violation — the shrinker and fuzzer must not chase instances whose
+    verdict silently flipped to "too big to check".
+    """
+    if target not in _VALID_VIOLATIONS:
+        raise ValueError(f"unknown violation {target!r}")
+    return report.summary[target] is False
+
+
 def replay(
     condition: Condition,
     traces: Sequence[Sequence[Update]],
@@ -132,14 +145,22 @@ def replay(
     return displayed, report
 
 
-def counterexample_from_run(run: RunResult) -> Counterexample | None:
+def counterexample_from_run(
+    run: RunResult, target: Violation | None = None
+) -> Counterexample | None:
     """Extract a (not yet minimized) counterexample from a simulator run.
 
-    Returns None if the run violates nothing.  The arrival pattern is
-    recovered from the sources of the alerts that actually reached the AD.
+    Returns None if the run violates nothing — or, when ``target`` names
+    a specific property, if *that* property is not violated (a run may
+    violate several at once; the fuzzer wants the one it was aimed at).
+    The arrival pattern is recovered from the sources of the alerts that
+    actually reached the AD.
     """
     report = run.evaluate_properties()
-    violation = find_violation(report)
+    if target is not None:
+        violation = target if violates(report, target) else None
+    else:
+        violation = find_violation(report)
     if violation is None:
         return None
     source_to_index = {f"CE{i + 1}": i for i in range(len(run.received))}

@@ -8,6 +8,7 @@ Everything the benchmarks do, driveable from a shell::
     python -m repro trace replay run.jsonl      # bit-identical or exit 1
     python -m repro trace summarize run.jsonl
     python -m repro shrink aggressive --property consistent
+    python -m repro fuzz --target consistency --budget 2000 --minimize
     python -m repro domination
     python -m repro maximality
     python -m repro availability --trials 30
@@ -154,6 +155,96 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
     print(f"no {'violation' if not args.property else args.property + ' violation'} "
           f"found in seeds [{args.seed}, {args.seed + args.max_seeds})")
     return 1
+
+
+#: Accepted ``--target`` spellings (the paper says "consistency", the
+#: report keys say "consistent" — take both).
+_FUZZ_TARGETS = {
+    "ordered": "ordered",
+    "orderedness": "ordered",
+    "complete": "complete",
+    "completeness": "complete",
+    "consistent": "consistent",
+    "consistency": "consistent",
+    "any": None,
+}
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.engine import TrialEngine, resolve_processes
+    from repro.fuzz import FuzzConfig, FuzzEngine, shrink_spec
+    from repro.observability import replay_trace
+
+    _scenario_for(args.row, args.multi)  # validate the row early
+    config = FuzzConfig(
+        matrix="multi" if args.multi else "single",
+        row=args.row,
+        algorithm=args.algorithm,
+        target=_FUZZ_TARGETS[args.target],
+        budget=args.budget,
+        fuzz_seed=args.fuzz_seed,
+        batch_size=args.batch,
+        n_updates=args.updates,
+        replication=args.replication,
+    )
+    if resolve_processes(args.processes) > 1:
+        with TrialEngine(processes=args.processes) as engine:
+            result = FuzzEngine(config, engine=engine).run()
+    else:
+        result = FuzzEngine(config).run()
+
+    print(
+        f"fuzz: {config.matrix}/{config.row} {config.algorithm} "
+        f"target={args.target} budget={config.budget} "
+        f"fuzz-seed={config.fuzz_seed}"
+    )
+    print(
+        f"  {result.executed} runs ({result.skipped_duplicates} duplicate "
+        f"specs skipped), corpus {result.corpus_size}, "
+        f"{result.features} coverage features, "
+        f"{result.distinct_signatures} distinct signatures"
+    )
+    print(
+        f"  {result.distinct_violating_signatures} distinct violating "
+        "signatures"
+    )
+    if not result.findings:
+        print("  no violations found")
+        return 1
+
+    for finding in result.findings[:5]:
+        spec = finding.witness_spec
+        print(
+            f"  - {finding.violation} @ seed={spec.seed} "
+            f"n_updates={spec.n_updates} replication={spec.replication}"
+            + ("" if spec.faults is None else " +faults")
+        )
+    if len(result.findings) > 5:
+        print(f"    ... and {len(result.findings) - 5} more")
+
+    if not args.minimize:
+        return 0
+
+    out_dir = None
+    if args.out:
+        from pathlib import Path
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    replays_ok = True
+    for index, finding in enumerate(result.findings[: args.minimize_limit]):
+        shrunk = shrink_spec(finding.witness_spec, finding.violation)
+        print()
+        print(shrunk.describe())
+        replay = replay_trace(shrunk.trace)
+        print(f"  replay: {replay.describe()}")
+        replays_ok = replays_ok and replay.identical
+        if out_dir is not None:
+            path = shrunk.trace.write(
+                out_dir / f"witness_{index}_{finding.violation}.jsonl"
+            )
+            print(f"  trace written to {path}")
+    return 0 if replays_ok else 1
 
 
 def _cmd_domination(args: argparse.Namespace) -> int:
@@ -438,6 +529,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_shrink.add_argument("--updates", type=int, default=25)
     p_shrink.add_argument("--multi", action="store_true")
     p_shrink.set_defaults(func=_cmd_shrink)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided search for property violations, with "
+        "optional full-simulator witness minimization",
+    )
+    p_fuzz.add_argument(
+        "--target",
+        choices=sorted(_FUZZ_TARGETS),
+        default="any",
+        help="property to hunt ('any' retains every violation)",
+    )
+    p_fuzz.add_argument("--budget", type=int, default=1000,
+                        help="simulator runs to spend")
+    p_fuzz.add_argument("--row", choices=list(ROW_ORDER), default="aggressive")
+    p_fuzz.add_argument("--algorithm", default="AD-2")
+    p_fuzz.add_argument("--multi", action="store_true")
+    p_fuzz.add_argument("--updates", type=int, default=20,
+                        help="baseline reading count for initial inputs")
+    p_fuzz.add_argument("--replication", type=int, default=2)
+    p_fuzz.add_argument(
+        "--fuzz-seed", type=int, default=0,
+        help="seed of the fuzzer's own RNG streams (campaigns replay)",
+    )
+    p_fuzz.add_argument("--batch", type=int, default=32,
+                        help="specs scheduled per engine batch")
+    p_fuzz.add_argument(
+        "--processes",
+        type=_processes_arg,
+        default=1,
+        help="fan batches out over N worker processes ('auto' = CPU count)",
+    )
+    p_fuzz.add_argument(
+        "--minimize",
+        action="store_true",
+        help="delta-debug findings to 1-minimal witnesses and verify "
+        "each recorded trace replays bit-identically",
+    )
+    p_fuzz.add_argument(
+        "--minimize-limit", type=int, default=3,
+        help="findings to minimize (they are deduplicated by signature)",
+    )
+    p_fuzz.add_argument(
+        "--out", default=None,
+        help="directory for minimized witness traces (.jsonl)",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_dom = sub.add_parser("domination", help="Theorems 6/8 replay")
     p_dom.add_argument("--trials", type=int, default=200)

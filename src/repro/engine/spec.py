@@ -58,6 +58,11 @@ class TrialSpec:
     #: Also compute ground-truth delivery stats and attach them to the
     #: report (``PropertyReport.delivery``) — what chaos sweeps aggregate.
     collect_delivery: bool = False
+    #: Like ``collect_counters`` but with a ReasonCountersTracer, whose
+    #: keys splice event ``reason`` payloads into the kind segment
+    #: (``link/drop:burst/...``, ``ad/filter:<why>/...``) — the input of
+    #: the fuzzer's behaviour-coverage signature (:mod:`repro.fuzz`).
+    collect_coverage: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.faults, dict):
@@ -74,7 +79,11 @@ class TrialSpec:
     def execute(self) -> PropertyReport:
         """Run the trial and decide its properties (in any process)."""
         tracer = None
-        if self.collect_counters:
+        if self.collect_coverage:
+            from repro.observability.tracer import ReasonCountersTracer
+
+            tracer = ReasonCountersTracer()
+        elif self.collect_counters:
             from repro.observability.tracer import CountersTracer
 
             tracer = CountersTracer()

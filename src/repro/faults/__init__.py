@@ -32,11 +32,19 @@ from repro.faults.model import (
     GilbertElliottLoss,
     GilbertElliottParams,
 )
-from repro.faults.plan import DEFAULT_CHAOS_PROFILE, FaultPlan, FaultProfile
+from repro.faults.plan import (
+    DEFAULT_CHAOS_PROFILE,
+    PROFILE_FIELD_KINDS,
+    FaultPlan,
+    FaultProfile,
+    profile_field_identity,
+)
 
 __all__ = [
     "ChaosCell",
     "DEFAULT_CHAOS_PROFILE",
+    "PROFILE_FIELD_KINDS",
+    "profile_field_identity",
     "DelaySpikeSchedule",
     "DuplicationAdversary",
     "FaultPlan",

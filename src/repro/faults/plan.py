@@ -39,7 +39,13 @@ if TYPE_CHECKING:  # avoid repro.components import at module load
     from repro.components.system import SystemConfig
     from repro.simulation.rng import RandomStreams
 
-__all__ = ["FaultPlan", "FaultProfile", "DEFAULT_CHAOS_PROFILE"]
+__all__ = [
+    "FaultPlan",
+    "FaultProfile",
+    "DEFAULT_CHAOS_PROFILE",
+    "PROFILE_FIELD_KINDS",
+    "profile_field_identity",
+]
 
 
 @dataclass(frozen=True)
@@ -257,6 +263,50 @@ _SCALED_FIELDS = (
 #: Probability-valued fields among the scaled set (clamped to [0, 1]).
 _PROB_FIELDS = {"burst_good_to_bad", "burst_loss_good", "duplicate_prob"}
 
+#: What kind of knob each profile field is — the machine-readable shape
+#: the fuzzer's mutator and the witness shrinker walk instead of
+#: hard-coding field names: ``rate``/``mean`` are non-negative reals,
+#: ``prob`` clamps to [0, 1], ``factor`` floors at 1 (a delay
+#: multiplier), ``count`` is an integer >= 1.
+PROFILE_FIELD_KINDS: dict[str, str] = {
+    "ce_crash_rate": "rate",
+    "ce_mean_repair": "mean",
+    "dm_crash_rate": "rate",
+    "dm_mean_repair": "mean",
+    "ad_crash_rate": "rate",
+    "ad_mean_repair": "mean",
+    "front_outage_rate": "rate",
+    "front_mean_outage": "mean",
+    "back_outage_rate": "rate",
+    "back_mean_outage": "mean",
+    "burst_good_to_bad": "prob",
+    "burst_bad_to_good": "prob",
+    "burst_loss_good": "prob",
+    "burst_loss_bad": "prob",
+    "duplicate_prob": "prob",
+    "max_duplicates": "count",
+    "delay_spike_rate": "rate",
+    "delay_spike_mean": "mean",
+    "delay_spike_factor": "factor",
+}
+
+
+def profile_field_identity(name: str) -> float | int:
+    """The *inert* value of a profile field — the one that disables it.
+
+    Zero for rates/means and most probabilities; 1 for the spike factor
+    (no amplification) and the duplicate count (one extra copy, inert
+    while ``duplicate_prob`` is 0); 1 for ``burst_bad_to_good``, whose
+    identity is instant recovery, not zero (a 0 recovery probability
+    makes bursts *permanent*).
+    """
+    if name in ("delay_spike_factor", "max_duplicates", "burst_bad_to_good"):
+        return 1
+    kind = PROFILE_FIELD_KINDS[name]
+    if kind not in ("rate", "mean", "prob"):
+        raise KeyError(f"unknown profile field {name!r}")
+    return 0
+
 
 @dataclass(frozen=True)
 class FaultProfile:
@@ -312,6 +362,25 @@ class FaultProfile:
             and self.duplicate_prob == 0
             and self.delay_spike_rate == 0
         )
+
+    def with_value(self, name: str, value: float) -> "FaultProfile":
+        """This profile with one field replaced, clamped to its kind.
+
+        Probabilities clamp to [0, 1], the spike factor floors at 1, the
+        duplicate count floors at 1 (and truncates to int), and every
+        other knob floors at 0 — so arbitrary mutated/halved values
+        always yield a constructible profile.
+        """
+        kind = PROFILE_FIELD_KINDS[name]
+        if kind == "prob":
+            value = min(max(value, 0.0), 1.0)
+        elif kind == "factor":
+            value = max(value, 1.0)
+        elif kind == "count":
+            value = max(int(value), 1)
+        else:
+            value = max(value, 0.0)
+        return replace(self, **{name: value})
 
     def scaled(self, intensity: float) -> "FaultProfile":
         """This profile with every fault *rate* scaled by ``intensity``.

@@ -1,0 +1,106 @@
+"""Behaviour-coverage signatures of simulator runs.
+
+Two runs are "the same" to the fuzzer when they exercise the same
+behaviour, not when their seeds match.  The signature of a run is a
+frozenset of string features derived from the run's reason-annotated
+observability counters (:class:`~repro.observability.tracer.ReasonCountersTracer`,
+attached via ``TrialSpec.collect_coverage``) and its property verdicts:
+
+* ``hit:<stage>/<kind>`` — the instrumentation point fired at all.  The
+  kind segment carries the event's reason where one exists, so
+  ``hit:link/drop:burst`` and ``hit:link/drop:loss`` are distinct
+  behaviours, as are the per-algorithm AD rejection reasons
+  (``hit:ad/filter:<why>``).
+* ``n:<stage>:<bucket>`` — the power-of-two bucket of the stage's
+  event count summed over kinds and nodes (``bucket =
+  count.bit_length()``), so "a few deviations" and "a storm of them"
+  differ without every raw count minting a new signature.  Buckets are
+  deliberately per *stage*, not per kind: per-kind counts are so
+  high-entropy that their joint vector is distinct for nearly every
+  seed, which would collapse "distinct signatures" into "distinct runs".
+* ``verdict:<property>:<True|False|None>`` — the decided property
+  vector, ``None`` meaning the checker skipped or exhausted its budget.
+
+Only *behavioural* instrumentation points participate.  Bulk-traffic
+kinds (``link/send``, ``link/deliver``, ``ce/update-received``, the whole
+``kernel`` stage) track the reading count and the loss coin flips almost
+bijectively — folding them in would mint a fresh signature for nearly
+every seed, collapsing "distinct signatures" into "distinct runs" and
+erasing the guidance signal.  What counts as behaviour: anything that
+*deviates* (drops, holds, duplicates, crashes, suppressions, AD
+rejections), the alert surface (raised/arrived/displayed), and the
+materialized fault surface (``fault`` stage).
+
+Signatures are value objects: hashable, picklable, order-free.  The
+corpus keeps an input when its signature contains any feature never seen
+before; violation dedup keys on whole signatures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "coverage_signature",
+    "covered_kind",
+    "signature_key",
+    "new_features",
+]
+
+#: The report.summary keys folded into the verdict feature vector.
+_PROPERTIES = ("ordered", "complete", "consistent")
+
+#: ``ce``-stage kinds that are behavioural (prefix match, so
+#: reason-annotated forms like ``missed:crashed`` stay covered).
+_CE_KINDS = ("missed", "alert-raised")
+#: ``link``-stage kinds that are behavioural.
+_LINK_KINDS = ("drop", "hold", "duplicate")
+
+
+def covered_kind(stage: str, kind: str) -> bool:
+    """Whether ``stage/kind`` participates in coverage signatures."""
+    if stage in ("fault", "dm", "ad"):
+        return True
+    if stage == "link":
+        return kind.startswith(_LINK_KINDS)
+    if stage == "ce":
+        return kind.startswith(_CE_KINDS)
+    return False
+
+
+def coverage_signature(
+    counters: Mapping[str, int] | None,
+    summary: Mapping[str, bool | None],
+) -> frozenset[str]:
+    """The behaviour signature of one run.
+
+    ``counters`` are ``"stage/kind[:reason]/node"`` counts (absent or
+    empty when the run was not traced — the signature then reduces to
+    the verdict vector); ``summary`` is ``PropertyReport.summary``.
+    """
+    features: set[str] = set()
+    for prop in _PROPERTIES:
+        features.add(f"verdict:{prop}:{summary.get(prop)}")
+    if counters:
+        per_stage: dict[str, int] = {}
+        for key, count in counters.items():
+            stage, kind, _node = key.split("/", 2)
+            if not covered_kind(stage, kind):
+                continue
+            features.add(f"hit:{stage}/{kind}")
+            per_stage[stage] = per_stage.get(stage, 0) + count
+        for stage, total in per_stage.items():
+            features.add(f"n:{stage}:{total.bit_length()}")
+    return frozenset(features)
+
+
+def signature_key(signature: Iterable[str]) -> tuple[str, ...]:
+    """A canonical (sorted) tuple form — stable across processes/runs."""
+    return tuple(sorted(signature))
+
+
+def new_features(
+    signature: frozenset[str], seen: set[str]
+) -> frozenset[str]:
+    """The features of ``signature`` not yet in the global ``seen`` set."""
+    return signature - seen

@@ -1,0 +1,258 @@
+"""The coverage-guided mutational fuzz loop.
+
+:class:`FuzzEngine` keeps a corpus of :class:`~repro.engine.spec.TrialSpec`
+inputs for one scenario cell, mutates them through the catalog in
+:mod:`repro.fuzz.mutate`, executes batches through the existing
+:class:`~repro.engine.core.TrialEngine` worker pool (or inline), and
+
+* **retains** an input in the corpus when its behaviour signature
+  (:func:`~repro.fuzz.coverage.coverage_signature`) contains any feature
+  the campaign has never seen — new drop reason, new AD rejection
+  reason, new count bucket, new verdict vector;
+* **reports** an input as a finding when it violates the target
+  property, deduplicating findings by whole signature, so "how many
+  distinct violating signatures" is the campaign's figure of merit
+  (what ``benchmarks/bench_fuzz.py`` compares against uniform random
+  sampling).
+
+Everything is deterministic in ``FuzzConfig.fuzz_seed``: mutation draws
+come from one dedicated ``random.Random``, batches preserve submission
+order through the engine, and duplicate specs are skipped before
+execution — so a campaign's findings replay exactly, and each finding's
+spec can be handed to :func:`repro.fuzz.shrink.shrink_spec` and
+:func:`repro.observability.replay.record_trial` for a bit-replayable
+minimized witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from random import Random
+
+from repro.analysis.witness import find_violation, violates
+from repro.engine.spec import TrialSpec
+from repro.faults.plan import DEFAULT_CHAOS_PROFILE
+from repro.fuzz.coverage import coverage_signature, signature_key
+from repro.fuzz.mutate import MutationLimits, mutate_spec
+from repro.props.report import PropertyReport
+
+__all__ = ["FuzzConfig", "Finding", "FuzzResult", "FuzzEngine", "uniform_specs"]
+
+#: Default base seed for initial corpus entries and uniform baselines
+#: (distinct from the table grids' and chaos sweeps').
+FUZZ_BASE_SEED = 20010901
+
+_TARGETS = ("ordered", "complete", "consistent")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz campaign: a scenario cell, a target, and a budget."""
+
+    matrix: str = "single"
+    row: str = "aggressive"
+    algorithm: str = "AD-2"
+    #: Property to hunt ("ordered" | "complete" | "consistent"), or None
+    #: to count any violation as a finding.
+    target: str | None = "consistent"
+    #: Total simulator runs the campaign may spend (initial corpus
+    #: included).
+    budget: int = 1000
+    #: Seed of the fuzzer's own RNG stream (mutation/selection draws).
+    fuzz_seed: int = 0
+    #: Specs submitted to the trial engine per round.
+    batch_size: int = 32
+    #: Reading count of the initial corpus entries.
+    n_updates: int = 20
+    replication: int = 2
+    #: How many clean-seed entries the initial corpus starts from.
+    initial_inputs: int = 8
+    limits: MutationLimits = field(default_factory=MutationLimits)
+
+    def __post_init__(self) -> None:
+        if self.target is not None and self.target not in _TARGETS:
+            raise ValueError(
+                f"unknown target {self.target!r}; expected one of {_TARGETS}"
+            )
+        if self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    def initial_specs(self) -> list[TrialSpec]:
+        """The seed corpus: a few clean runs plus one chaos-profile run.
+
+        Seeds are spread deterministically from the fuzz seed; the chaos
+        entry makes every fault-surface feature *reachable* by mutation
+        from round one instead of waiting for a lucky transplant.
+        """
+        rng = Random(f"fuzz/initial/{self.fuzz_seed}")
+        specs = [
+            TrialSpec(
+                self.matrix,
+                self.row,
+                self.algorithm,
+                rng.randrange(1 << 31),
+                self.n_updates,
+                replication=self.replication,
+                collect_coverage=True,
+            )
+            for _ in range(max(1, self.initial_inputs))
+        ]
+        specs.append(
+            replace(
+                specs[0],
+                seed=rng.randrange(1 << 31),
+                faults=DEFAULT_CHAOS_PROFILE.scaled(0.5),
+            )
+        )
+        return specs[: self.budget]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One distinct violating behaviour the campaign discovered."""
+
+    spec: TrialSpec
+    signature: frozenset[str]
+    summary: dict[str, bool | None]
+    #: Which property the finding violates (the target, or the most
+    #: severe violated one on target-free campaigns).
+    violation: str
+
+    @property
+    def witness_spec(self) -> TrialSpec:
+        """The spec stripped of collection flags — the canonical witness
+        input to shrink, record and replay."""
+        return replace(
+            self.spec,
+            collect_counters=False,
+            collect_coverage=False,
+            collect_delivery=False,
+        )
+
+
+@dataclass
+class FuzzResult:
+    """Aggregate outcome of one campaign."""
+
+    config: FuzzConfig
+    executed: int = 0
+    skipped_duplicates: int = 0
+    corpus_size: int = 0
+    features: int = 0
+    #: Count of distinct whole-run signatures observed.
+    distinct_signatures: int = 0
+    #: Distinct *violating* signatures, in discovery order.
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def distinct_violating_signatures(self) -> int:
+        return len(self.findings)
+
+
+def _violation_of(report: PropertyReport, target: str | None) -> str | None:
+    if target is not None:
+        return target if violates(report, target) else None
+    return find_violation(report)
+
+
+class FuzzEngine:
+    """Runs one campaign; optionally fans batches out over a TrialEngine."""
+
+    def __init__(self, config: FuzzConfig, engine=None) -> None:
+        self.config = config
+        self.engine = engine
+
+    def _execute(self, specs: list[TrialSpec]) -> list[PropertyReport]:
+        if self.engine is not None:
+            return self.engine.run(specs)
+        return [spec.execute() for spec in specs]
+
+    def run(self) -> FuzzResult:
+        config = self.config
+        rng = Random(f"fuzz/mutate/{config.fuzz_seed}")
+        result = FuzzResult(config=config)
+        corpus: list[TrialSpec] = []
+        seen_features: set[str] = set()
+        seen_signatures: set[tuple[str, ...]] = set()
+        violating: set[tuple[str, ...]] = set()
+        tried: set[TrialSpec] = set()
+
+        def ingest(spec: TrialSpec, report: PropertyReport) -> None:
+            signature = coverage_signature(report.counters, report.summary)
+            key = signature_key(signature)
+            seen_signatures.add(key)
+            if signature - seen_features:
+                seen_features.update(signature)
+                corpus.append(spec)
+            violation = _violation_of(report, config.target)
+            if violation is not None and key not in violating:
+                violating.add(key)
+                result.findings.append(
+                    Finding(
+                        spec=spec,
+                        signature=signature,
+                        summary=dict(report.summary),
+                        violation=violation,
+                    )
+                )
+
+        batch = config.initial_specs()
+        tried.update(batch)
+        while batch:
+            for spec, report in zip(batch, self._execute(batch)):
+                ingest(spec, report)
+            result.executed += len(batch)
+            remaining = config.budget - result.executed
+            if remaining <= 0:
+                break
+            batch = []
+            misses = 0
+            while len(batch) < min(config.batch_size, remaining):
+                parent = self._pick_parent(corpus, rng)
+                child = mutate_spec(parent, rng, config.limits)
+                if misses >= 32:
+                    # The neighbourhood is exhausted; force a fresh seed,
+                    # which collides with vanishing probability.
+                    child = replace(child, seed=rng.randrange(1 << 31))
+                if child in tried:
+                    misses += 1
+                    result.skipped_duplicates += 1
+                    continue
+                misses = 0
+                tried.add(child)
+                batch.append(child)
+
+        result.corpus_size = len(corpus)
+        result.features = len(seen_features)
+        result.distinct_signatures = len(seen_signatures)
+        return result
+
+    @staticmethod
+    def _pick_parent(corpus: list[TrialSpec], rng: Random) -> TrialSpec:
+        """Corpus entry to mutate, biased toward recent additions.
+
+        Recent entries embody the newest behaviour; squaring the uniform
+        draw skews selection toward the tail without starving the head.
+        """
+        index = len(corpus) - 1 - int(rng.random() ** 2 * len(corpus))
+        return corpus[min(max(index, 0), len(corpus) - 1)]
+
+
+def uniform_specs(config: FuzzConfig, base_seed: int = FUZZ_BASE_SEED) -> list[TrialSpec]:
+    """The uniform-sampling baseline at the same budget: sequential seeds
+    on the campaign's scenario cell with the default knobs and no faults —
+    exactly how the table grids sample, made coverage-observable."""
+    return [
+        TrialSpec(
+            config.matrix,
+            config.row,
+            config.algorithm,
+            base_seed + trial,
+            config.n_updates,
+            replication=config.replication,
+            collect_coverage=True,
+        )
+        for trial in range(config.budget)
+    ]

@@ -1,0 +1,132 @@
+"""Mutations over the fuzzer's input space: ``TrialSpec × FaultProfile``.
+
+A corpus entry is a plain :class:`~repro.engine.spec.TrialSpec` (which
+already carries the scenario cell, seed, reading count, replication, the
+sweepable front-loss override and an optional
+:class:`~repro.faults.plan.FaultProfile>`).  Mutations draw from a
+dedicated fuzz RNG — never from the simulation's own streams — and only
+produce values the simulator accepts, using the profile-field metadata
+(:data:`~repro.faults.plan.PROFILE_FIELD_KINDS`) instead of hard-coded
+field lists so new fault knobs become mutable automatically.
+
+The catalog deliberately mixes small nudges (seed ±k, a few readings
+more or less) with template jumps (a chaos-profile transplant, a fresh
+random seed): nudges exploit a behaviour the corpus already reached,
+jumps escape plateaus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from random import Random
+
+from repro.engine.spec import TrialSpec
+from repro.faults.plan import (
+    DEFAULT_CHAOS_PROFILE,
+    PROFILE_FIELD_KINDS,
+    FaultProfile,
+)
+
+__all__ = ["MutationLimits", "mutate_spec"]
+
+#: Value templates per profile-field kind — chosen to straddle the
+#: regimes that matter over a run horizon of a few hundred time units
+#: (readings arrive every 10 units).
+_KIND_TEMPLATES: dict[str, tuple[float, ...]] = {
+    "rate": (0.0, 0.002, 0.004, 0.008, 0.016, 0.03),
+    "mean": (0.0, 10.0, 25.0, 40.0, 80.0),
+    "prob": (0.0, 0.05, 0.15, 0.4, 0.8),
+    "factor": (1.0, 2.0, 4.0, 6.0, 10.0),
+    "count": (1, 2, 3),
+}
+
+#: Front-link loss overrides worth visiting (None = the scenario's own).
+_LOSS_TEMPLATES = (None, 0.0, 0.1, 0.3, 0.5, 0.7)
+
+#: Chaos intensities for whole-profile transplants.
+_CHAOS_INTENSITIES = (0.25, 0.5, 1.0, 2.0)
+
+
+class MutationLimits:
+    """Bounds the mutator keeps spec scalars inside."""
+
+    def __init__(
+        self,
+        min_updates: int = 4,
+        max_updates: int = 40,
+        max_replication: int = 3,
+    ) -> None:
+        if min_updates < 1 or max_updates < min_updates:
+            raise ValueError(
+                f"bad update bounds [{min_updates}, {max_updates}]"
+            )
+        self.min_updates = min_updates
+        self.max_updates = max_updates
+        self.max_replication = max(1, max_replication)
+
+
+def _mutate_seed(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    return replace(spec, seed=rng.randrange(1 << 31))
+
+
+def _nudge_seed(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    delta = rng.choice((-16, -4, -2, -1, 1, 2, 4, 16))
+    return replace(spec, seed=abs(spec.seed + delta))
+
+
+def _mutate_updates(spec: TrialSpec, rng: Random, limits: MutationLimits) -> TrialSpec:
+    delta = rng.choice((-6, -3, -1, 1, 3, 6))
+    n = min(max(spec.n_updates + delta, limits.min_updates), limits.max_updates)
+    return replace(spec, n_updates=n)
+
+
+def _mutate_replication(spec: TrialSpec, rng: Random, limits: MutationLimits) -> TrialSpec:
+    return replace(spec, replication=rng.randint(1, limits.max_replication))
+
+
+def _mutate_loss(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    return replace(spec, front_loss=rng.choice(_LOSS_TEMPLATES))
+
+
+def _mutate_fault_field(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    name = rng.choice(sorted(PROFILE_FIELD_KINDS))
+    profile = spec.faults if spec.faults is not None else FaultProfile()
+    templates = _KIND_TEMPLATES[PROFILE_FIELD_KINDS[name]]
+    profile = profile.with_value(name, rng.choice(templates))
+    return replace(spec, faults=None if profile.is_clean else profile)
+
+
+def _transplant_chaos(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    profile = DEFAULT_CHAOS_PROFILE.scaled(rng.choice(_CHAOS_INTENSITIES))
+    return replace(spec, faults=profile)
+
+
+def _drop_faults(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    return replace(spec, faults=None)
+
+
+#: (mutation, weight) — seed moves dominate (they are the cheapest way
+#: to re-roll timing), fault-surface edits follow, structural knobs are
+#: rarer.
+_CATALOG = (
+    (_mutate_seed, 4),
+    (_nudge_seed, 4),
+    (_mutate_fault_field, 4),
+    (_mutate_updates, 3),
+    (_mutate_loss, 2),
+    (_transplant_chaos, 1),
+    (_mutate_replication, 1),
+    (_drop_faults, 1),
+)
+_MUTATIONS = tuple(m for m, w in _CATALOG for _ in range(w))
+
+
+def mutate_spec(
+    spec: TrialSpec, rng: Random, limits: MutationLimits | None = None
+) -> TrialSpec:
+    """One mutated child of ``spec`` (1–2 catalog mutations stacked)."""
+    limits = limits or MutationLimits()
+    child = spec
+    for _ in range(rng.randint(1, 2)):
+        child = rng.choice(_MUTATIONS)(child, rng, limits)
+    return child

@@ -40,6 +40,7 @@ from repro.observability.tracer import (
     CountersTracer,
     MemoryTracer,
     NullTracer,
+    ReasonCountersTracer,
     TeeTracer,
     Tracer,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "NullTracer",
     "MemoryTracer",
     "CountersTracer",
+    "ReasonCountersTracer",
     "TeeTracer",
     "RecordedTrace",
     "ReplayResult",

@@ -27,6 +27,7 @@ __all__ = [
     "NullTracer",
     "MemoryTracer",
     "CountersTracer",
+    "ReasonCountersTracer",
     "TeeTracer",
 ]
 
@@ -113,6 +114,36 @@ class CountersTracer:
             summary.setdefault(stage, {})
             summary[stage][kind] = summary[stage].get(kind, 0) + count
         return summary
+
+
+class ReasonCountersTracer(CountersTracer):
+    """Counters keyed by ``"stage/kind:reason/node"`` when a reason exists.
+
+    The flat :class:`CountersTracer` keys discard event payloads, which
+    erases exactly the dimension behaviour-coverage cares about: *why* a
+    datagram was dropped (``loss`` vs ``burst`` vs ``outage``) or why the
+    AD rejected an alert (the per-algorithm ``rejection_reason``).  This
+    variant splices the event's ``reason`` payload field into the kind
+    segment, so ``link/drop/...`` fans out into ``link/drop:loss/...``,
+    ``link/drop:burst/...`` etc. while reason-less events keep their
+    plain ``stage/kind/node`` keys.  Everything else (merging, totals,
+    picklability) is inherited.
+
+    Reasons are truncated to their *class* — the text before the first
+    colon — because AD rejection reasons embed instance detail after it
+    (``"seqno regression: a.seqno.x=13 <= ..."``): a counter per
+    distinct seqno pair would be as unbounded as the runs themselves,
+    and coverage signatures built on these keys would degenerate into
+    run identities.
+    """
+
+    def emit(
+        self, time: float, stage: str, kind: str, node: str, **data: Any
+    ) -> None:
+        reason = data.get("reason")
+        if reason is not None:
+            kind = f"{kind}:{str(reason).split(':', 1)[0]}"
+        self.counts[f"{stage}/{kind}/{node}"] += 1
 
 
 class TeeTracer:

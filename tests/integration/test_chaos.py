@@ -13,6 +13,8 @@ amount of failure is allowed to break:
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.components.system import SystemConfig, run_system
 from repro.core.condition import c1, c2
 from repro.core.sequences import is_subsequence

@@ -3,6 +3,8 @@ proved over ALL arrival orders of fixed trace pairs."""
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.condition import c1, c2, c3
 from repro.core.update import parse_trace
 from repro.displayers import AD1, AD2, AD3, AD4, AD5

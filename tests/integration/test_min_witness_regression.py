@@ -1,0 +1,74 @@
+"""Regression pins for the tables' minimal witnesses.
+
+``benchmarks/results/min_witnesses.json`` commits, for every ✗-cell of
+Tables 1–3, the first-scanned violating seed and the size its shrunk
+witness had when the file was generated.  The derivation
+(:func:`benchmarks.min_witnesses.derive_witness`) is deterministic, so
+this test re-derives each witness exactly and asserts:
+
+* the committed seed still violates the committed target — the ✗-cell
+  itself regressed otherwise;
+* the shrunk witness is no **larger** than the committed size on any
+  recorded axis — the shrinker regressed otherwise.
+
+Smaller is allowed (that is shrinker progress); the fix is to re-run
+``benchmarks/min_witnesses.py`` and commit the new sizes.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:  # `python -m pytest` from elsewhere
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.min_witnesses import CELLS, RESULT_PATH, derive_witness  # noqa: E402
+
+from repro.analysis.witness import violates  # noqa: E402
+from repro.engine.spec import TrialSpec  # noqa: E402
+
+
+def _committed() -> dict[str, dict]:
+    entries = json.loads(RESULT_PATH.read_text())
+    return {entry["cell"]: entry for entry in entries}
+
+
+def test_every_pinned_cell_is_committed():
+    committed = _committed()
+    assert set(committed) == {cell_id for cell_id, *_ in CELLS}
+
+
+@pytest.mark.parametrize(
+    "cell_id,matrix,row,algorithm,target",
+    CELLS,
+    ids=[cell_id for cell_id, *_ in CELLS],
+)
+def test_minimal_witness_has_not_grown(cell_id, matrix, row, algorithm, target):
+    entry = _committed()[cell_id]
+    witness = entry["witness"]
+
+    # The committed witness spec must still violate its target.
+    committed_spec = TrialSpec(
+        witness["matrix"], witness["row"], witness["algorithm"],
+        witness["seed"], witness["n_updates"],
+        replication=witness["replication"],
+        front_loss=witness["front_loss"],
+    )
+    assert violates(committed_spec.execute(), target), (
+        f"{cell_id}: the committed minimal witness no longer violates "
+        f"{target} — simulator or checker drift"
+    )
+
+    # Re-deriving must not produce a bigger witness than we committed.
+    result = derive_witness(matrix, row, algorithm, target)
+    size = entry["size"]
+    assert result.spec.n_updates <= size["n_updates"], (
+        f"{cell_id}: shrinker now stops at n_updates="
+        f"{result.spec.n_updates}, committed {size['n_updates']}"
+    )
+    assert result.counterexample.total_updates <= size["total_updates"]
+    assert len(result.counterexample.displayed) <= size["displayed"]
+    assert result.counterexample.violation == target

@@ -7,6 +7,8 @@ prefix, no sampling.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.analysis.experiments import (
     consistency_property,
     strict_orderedness_property,

@@ -93,6 +93,41 @@ class TestShrinkCommand:
         assert "no" in capsys.readouterr().out
 
 
+class TestFuzzCommand:
+    def test_finds_minimizes_and_replays(self, capsys, tmp_path):
+        code = main(
+            ["fuzz", "--target", "consistency", "--budget", "80",
+             "--minimize", "--minimize-limit", "1",
+             "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distinct violating" in out
+        assert "shrunk witness" in out
+        assert "replay OK" in out
+        traces = list(tmp_path.glob("witness_*.jsonl"))
+        assert len(traces) == 1
+        # The written artifact must itself replay cleanly.
+        assert main(["trace", "replay", str(traces[0])]) == 0
+
+    def test_guaranteed_cell_finds_nothing(self, capsys):
+        # AD-3 guarantees consistency, so the hunt must come back empty
+        # and the exit status must say so.
+        code = main(
+            ["fuzz", "--target", "consistency", "--algorithm", "AD-3",
+             "--budget", "30"]
+        )
+        assert code == 1
+        assert "no violations found" in capsys.readouterr().out
+
+    def test_target_spellings_accepted(self):
+        parser = build_parser()
+        for spelling in ("ordered", "orderedness", "complete",
+                         "completeness", "consistent", "consistency", "any"):
+            args = parser.parse_args(["fuzz", "--target", spelling])
+            assert callable(args.func)
+
+
 class TestExperimentsCommands:
     def test_domination_small(self, capsys):
         assert main(["domination", "--trials", "20"]) == 0

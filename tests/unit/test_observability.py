@@ -15,6 +15,7 @@ from repro.observability import (
     CountersTracer,
     MemoryTracer,
     NullTracer,
+    ReasonCountersTracer,
     RecordedTrace,
     TeeTracer,
     TraceEvent,
@@ -91,6 +92,25 @@ class TestTracers:
 
     def test_null_tracer_swallows_everything(self):
         NullTracer().emit(0.0, "kernel", "fire", "", seq=1)
+
+    def test_reason_counters_tracer_fans_kinds_out_by_reason(self):
+        tracer = ReasonCountersTracer()
+        tracer.emit(1.0, "link", "drop", "L", reason="loss")
+        tracer.emit(2.0, "link", "drop", "L", reason="burst")
+        tracer.emit(3.0, "link", "send", "L")
+        assert tracer.as_dict() == {
+            "link/drop:burst/L": 1, "link/drop:loss/L": 1, "link/send/L": 1,
+        }
+
+    def test_reason_counters_tracer_truncates_to_the_reason_class(self):
+        # AD rejection reasons carry per-run detail after the colon; a
+        # coverage key must not mint one counter per seqno pair.
+        tracer = ReasonCountersTracer()
+        tracer.emit(1.0, "ad", "filter", "AD",
+                    reason="seqno regression: a.seqno.x=13 <= 13")
+        tracer.emit(2.0, "ad", "filter", "AD",
+                    reason="seqno regression: a.seqno.x=14 <= 14")
+        assert tracer.as_dict() == {"ad/filter:seqno regression/AD": 2}
 
 
 class TestTraceFiles:

@@ -38,6 +38,22 @@ gate — instrumentation must stay under 5% per trial):
 ``--emit-trace DIR`` additionally records one JSONL trace per Table 3 row
 (see :mod:`repro.observability`) and replays each one, so every benchmark
 run leaves bit-identity-verified trace artifacts behind.
+
+Kernel comparison: every full run also times the two trial executors —
+the event-object oracle (``kernel="object"``) and the struct-of-arrays
+fast path (``kernel="array"``, see :mod:`repro.simulation.arraykernel`) —
+side by side on the Table 3 main-grid specs, *executor-only* (inputs
+prebuilt, so the measured span is exactly ``run_system``), asserting the
+runs are field-identical before trusting any ratio.  The results land in
+``timings.object_sim_per_trial_ms`` / ``timings.array_sim_per_trial_ms``
+/ ``timings.speedup_array_vs_object``.
+
+CI array-kernel gate (the smoke workload is deliberately long —
+multi/conservative, n=600 readings — where the array kernel's advantage
+is largest and per-trial noise smallest; best-of-``--smoke-repeat``
+paired ratio must clear the floor):
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --array-gate 5.0
 """
 
 from __future__ import annotations
@@ -86,7 +102,164 @@ def _best_time(fn, repeat: int):
     return result, best
 
 
-def run_benchmark(trials: int, repeat: int = 1) -> dict:
+# The CI array-kernel smoke gate: one long workload (many readings per
+# trial) where the executor dominates wall time, so the object/array
+# ratio is both large and stable.  Gated on the *best* paired ratio over
+# a few repeats — one-sided noise (a background stall inflating either
+# side) cannot produce a false pass and a false fail needs every repeat
+# to stall the same way.
+SMOKE_MATRIX = "multi"
+SMOKE_ROW = "conservative"
+SMOKE_ALGORITHM = "AD-5"
+SMOKE_N_UPDATES = 600
+SMOKE_SEEDS = 10
+SMOKE_REPEAT = 3
+SMOKE_BASE_SEED = 20010800
+
+#: RunResult fields compared between kernels (everything observable;
+#: ``condition``/``config`` are fresh objects per run and identity-biased).
+_RUN_FIELDS = (
+    "sent", "sent_log", "received", "ce_alerts", "ad_arrivals",
+    "ad_arrival_times", "displayed", "filtered", "missed_while_down",
+    "dm_suppressed",
+)
+
+
+def _prepare_trial(spec):
+    """Prebuild a spec's simulator inputs so timing covers run_system only.
+
+    The config is handed back as a factory: delay models (PerLinkSkewDelay)
+    keep per-run state, so every execution needs a fresh one.
+    """
+    from repro.components.system import SystemConfig
+    from repro.simulation.rng import RandomStreams
+
+    scenario = spec.resolve_scenario()
+    streams = RandomStreams(spec.seed)
+    condition = scenario.make_condition()
+    workload = scenario.make_workload(streams, spec.n_updates)
+
+    def make_config():
+        kwargs = {}
+        if scenario.front_delay_factory is not None:
+            kwargs["front_delay"] = scenario.front_delay_factory()
+        return SystemConfig(
+            replication=spec.replication,
+            ad_algorithm=spec.algorithm,
+            front_loss=scenario.front_loss,
+            **kwargs,
+        )
+
+    return condition, workload, make_config, spec.seed
+
+
+def _sweep_kernel(prepared, kernel: str):
+    """Run every prepared trial under one kernel; (results, summed seconds).
+
+    The cyclic GC is paused over the sweep (after an up-front collect):
+    collection pauses land arbitrarily and charge whichever kernel is
+    running, which at array-kernel sweep durations swings the measured
+    ratio by 2x and more.
+    """
+    import gc
+
+    from repro.components.system import run_system
+
+    total = 0.0
+    results = []
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for condition, workload, make_config, seed in prepared:
+            config = make_config()
+            start = time.perf_counter()
+            run = run_system(
+                condition, workload, config, seed=seed, kernel=kernel
+            )
+            total += time.perf_counter() - start
+            results.append(run)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return results, total
+
+
+def _assert_runs_identical(object_runs, array_runs) -> None:
+    for index, (a, b) in enumerate(zip(object_runs, array_runs)):
+        for field in _RUN_FIELDS:
+            if getattr(a, field) != getattr(b, field):
+                raise AssertionError(
+                    f"kernel divergence on trial {index}, field {field!r} — "
+                    "the speedup is void; investigate before trusting timings"
+                )
+
+
+def _compare_kernels(prepared, repeat: int) -> dict:
+    """Paired object/array sweeps over prebuilt trials.
+
+    Returns best (minimum) totals per kernel plus the best paired ratio
+    across repeats; the first repeat differentially verifies the runs.
+    """
+    object_best = array_best = None
+    ratios = []
+    for round_index in range(max(1, repeat)):
+        object_runs, object_s = _sweep_kernel(prepared, "object")
+        array_runs, array_s = _sweep_kernel(prepared, "array")
+        if round_index == 0:
+            _assert_runs_identical(object_runs, array_runs)
+        object_best = object_s if object_best is None else min(object_best, object_s)
+        array_best = array_s if array_best is None else min(array_best, array_s)
+        ratios.append(object_s / array_s)
+    return {
+        "trials": len(prepared),
+        "object_s": object_best,
+        "array_s": array_best,
+        "speedup_best": max(ratios),
+        "repeat": max(1, repeat),
+    }
+
+
+def run_kernel_benchmark(trials: int, repeat: int = 3) -> dict:
+    """Executor-only kernel comparison on the Table 3 main-grid specs."""
+    from repro.engine.plan import plan_table
+
+    specs = plan_table(
+        TABLE_ID, trials=trials, n_updates=N_UPDATES, completeness_trials=0
+    ).specs
+    prepared = [_prepare_trial(spec) for spec in specs]
+    return _compare_kernels(prepared, repeat)
+
+
+def run_kernel_smoke(repeat: int = SMOKE_REPEAT) -> dict:
+    """The CI gate workload: few long trials, best-of-``repeat`` ratio."""
+    from repro.engine.spec import TrialSpec
+
+    specs = [
+        TrialSpec(
+            SMOKE_MATRIX, SMOKE_ROW, SMOKE_ALGORITHM,
+            SMOKE_BASE_SEED + index, SMOKE_N_UPDATES,
+        )
+        for index in range(SMOKE_SEEDS)
+    ]
+    prepared = [_prepare_trial(spec) for spec in specs]
+    comparison = _compare_kernels(prepared, repeat)
+    return {
+        "workload": {
+            "matrix": SMOKE_MATRIX,
+            "row": SMOKE_ROW,
+            "algorithm": SMOKE_ALGORITHM,
+            "n_updates": SMOKE_N_UPDATES,
+            "seeds": SMOKE_SEEDS,
+        },
+        "object_s": round(comparison["object_s"], 3),
+        "array_s": round(comparison["array_s"], 3),
+        "speedup_best_of_repeat": round(comparison["speedup_best"], 2),
+        "repeat": comparison["repeat"],
+    }
+
+
+def run_benchmark(trials: int, repeat: int = 1, kernel: str = "array") -> dict:
     kwargs = dict(
         trials=trials,
         n_updates=N_UPDATES,
@@ -95,12 +268,16 @@ def run_benchmark(trials: int, repeat: int = 1) -> dict:
     )
 
     def legacy_build():
+        # The legacy baseline approximates the seed, which only had the
+        # event-object executor — so it is pinned to kernel="object".
         with legacy_completeness_backend(), reference_caches_disabled():
-            return build_table(TABLE_ID, **kwargs)
+            return build_table(TABLE_ID, kernel="object", **kwargs)
 
     legacy, legacy_s = _time(legacy_build)
     engine, engine_s = _best_time(
-        lambda: build_table_parallel(TABLE_ID, processes="auto", **kwargs),
+        lambda: build_table_parallel(
+            TABLE_ID, processes="auto", kernel=kernel, **kwargs
+        ),
         repeat,
     )
     if engine.tallies != legacy.tallies:
@@ -114,7 +291,8 @@ def run_benchmark(trials: int, repeat: int = 1) -> dict:
     # must be unchanged — tracing is read-only by contract.
     traced, traced_s = _time(
         lambda: build_table_parallel(
-            TABLE_ID, processes="auto", collect_counters=True, **kwargs
+            TABLE_ID, processes="auto", collect_counters=True, kernel=kernel,
+            **kwargs
         )
     )
     if traced.measured_grid() != engine.measured_grid():
@@ -131,8 +309,12 @@ def run_benchmark(trials: int, repeat: int = 1) -> dict:
             n_updates=N_UPDATES,
             completeness_trials=None,
             completeness_n_updates=LIFTED_COMPLETENESS_N,
+            kernel=kernel,
         )
     )
+
+    kernels = run_kernel_benchmark(trials, repeat=max(3, repeat))
+    smoke = run_kernel_smoke()
 
     return {
         "workload": {
@@ -141,6 +323,7 @@ def run_benchmark(trials: int, repeat: int = 1) -> dict:
             "n_updates": N_UPDATES,
             "completeness_n_updates": LEGACY_COMPLETENESS_N,
             "lifted_completeness_n_updates": LIFTED_COMPLETENESS_N,
+            "kernel": kernel,
         },
         "timings": {
             "legacy_s": round(legacy_s, 3),
@@ -151,7 +334,17 @@ def run_benchmark(trials: int, repeat: int = 1) -> dict:
             "counters_overhead": round(traced_s / engine_s, 2),
             "legacy_per_trial_ms": round(1000 * legacy_s / trials, 3),
             "engine_per_trial_ms": round(1000 * engine_s / trials, 3),
+            # Executor-only (run_system span, inputs prebuilt) over the
+            # Table 3 main grid — the honest per-trial kernel comparison.
+            "object_sim_per_trial_ms": round(
+                1000 * kernels["object_s"] / kernels["trials"], 3
+            ),
+            "array_sim_per_trial_ms": round(
+                1000 * kernels["array_s"] / kernels["trials"], 3
+            ),
+            "speedup_array_vs_object": round(kernels["speedup_best"], 2),
         },
+        "kernel_smoke": smoke,
         "tallies_identical": True,
         "host": {
             "python": platform.python_version(),
@@ -217,15 +410,26 @@ def test_engine_throughput(benchmark):
         f"engine with counters {timings['engine_counters_s']}s "
         f"({timings['counters_overhead']}x)",
     )
+    save_result(
+        "kernel_comparison",
+        f"executor-only {TABLE_ID} grid: object "
+        f"{timings['object_sim_per_trial_ms']} ms/trial vs array "
+        f"{timings['array_sim_per_trial_ms']} ms/trial "
+        f"({timings['speedup_array_vs_object']}x, runs field-identical); "
+        f"smoke n={result['kernel_smoke']['workload']['n_updates']}: "
+        f"{result['kernel_smoke']['speedup_best_of_repeat']}x",
+    )
     traces = emit_traces(RESULT_PATH.parent / "results" / "traces")
     save_result(
         "trace_replay",
         f"{len(traces)} {TABLE_ID} traces recorded and replayed "
         "bit-identically (see traces/)",
     )
-    # Identical tallies are asserted inside run_benchmark; the ratio floor
-    # is deliberately loose — shared CI runners are noisy.
+    # Identical tallies are asserted inside run_benchmark; the ratio
+    # floors are deliberately loose — shared CI runners are noisy, and
+    # the strict array-kernel gate lives in --array-gate (perf-smoke).
     assert timings["speedup_vs_legacy"] >= 1.5
+    assert timings["speedup_array_vs_object"] >= 1.5
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -259,12 +463,50 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="record one replay-verified JSONL trace per table row to DIR",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=("object", "array"),
+        default="array",
+        help="trial executor for the engine-path timings (the legacy "
+        "baseline is always the object kernel, like the seed)",
+    )
+    parser.add_argument(
+        "--array-gate",
+        type=float,
+        default=None,
+        metavar="MIN_SPEEDUP",
+        help="run only the kernel smoke comparison and exit 1 unless the "
+        "best-of---smoke-repeat array/object speedup reaches MIN_SPEEDUP",
+    )
+    parser.add_argument(
+        "--smoke-repeat",
+        type=int,
+        default=SMOKE_REPEAT,
+        help="paired sweeps for the smoke comparison (gate takes the best)",
+    )
     args = parser.parse_args(argv)
     if args.check_against is not None and not args.check_against.is_file():
         # Validate before the (expensive) benchmark run, not after.
         parser.error(f"baseline not found: {args.check_against}")
 
-    result = run_benchmark(args.trials, repeat=args.repeat)
+    if args.array_gate is not None:
+        smoke = run_kernel_smoke(repeat=args.smoke_repeat)
+        speedup = smoke["speedup_best_of_repeat"]
+        workload = smoke["workload"]
+        print(
+            f"array-kernel smoke: {workload['matrix']}/{workload['row']} "
+            f"{workload['algorithm']} n={workload['n_updates']} x "
+            f"{workload['seeds']} seeds: object {smoke['object_s']}s, "
+            f"array {smoke['array_s']}s, best-of-{smoke['repeat']} speedup "
+            f"{speedup}x (gate {args.array_gate}x)"
+        )
+        if speedup < args.array_gate:
+            print("FAIL: array kernel below the speedup gate", file=sys.stderr)
+            return 1
+        print("OK: array kernel clears the gate")
+        return 0
+
+    result = run_benchmark(args.trials, repeat=args.repeat, kernel=args.kernel)
     timings = result["timings"]
     print(
         f"{TABLE_ID} x {args.trials} trials: "
@@ -273,6 +515,14 @@ def main(argv: list[str] | None = None) -> int:
         f"engine @ n=8 completeness {timings['engine_lifted_n8_s']}s, "
         f"engine with counters {timings['engine_counters_s']}s "
         f"({timings['counters_overhead']}x)"
+    )
+    print(
+        f"kernels (executor-only, {TABLE_ID} grid): "
+        f"object {timings['object_sim_per_trial_ms']} ms/trial, "
+        f"array {timings['array_sim_per_trial_ms']} ms/trial "
+        f"({timings['speedup_array_vs_object']}x); smoke "
+        f"(n={result['kernel_smoke']['workload']['n_updates']}): "
+        f"{result['kernel_smoke']['speedup_best_of_repeat']}x"
     )
 
     if args.emit_trace is not None:

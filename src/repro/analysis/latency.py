@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.accel import mean as _mean, median as _median, percentile as _percentile
 from repro.analysis.metrics import _ground_truth_updates
 from repro.components.system import RunResult
 from repro.core.reference import apply_T
@@ -103,10 +102,9 @@ def latency_stats(latencies: list[NotificationLatency]) -> LatencyStats:
     """Summarise a collection of per-alert outcomes."""
     delivered = [entry.latency for entry in latencies if entry.latency is not None]
     if delivered:
-        array = np.asarray(delivered, dtype=float)
-        mean = float(array.mean())
-        median = float(np.median(array))
-        p95 = float(np.percentile(array, 95))
+        mean = _mean(delivered)
+        median = _median(delivered)
+        p95 = _percentile(delivered, 95)
     else:
         mean = median = p95 = float("nan")
     return LatencyStats(

@@ -78,6 +78,7 @@ def build_table_parallel(
     chunksize: int | None = None,
     engine: TrialEngine | None = None,
     collect_counters: bool = False,
+    kernel: str = "array",
 ) -> TableResult:
     """Parallel sibling of :func:`repro.analysis.tables.build_table`.
 
@@ -95,6 +96,7 @@ def build_table_parallel(
         completeness_trials=completeness_trials,
         completeness_n_updates=completeness_n_updates,
         collect_counters=collect_counters,
+        kernel=kernel,
     )
     if engine is not None:
         return tabulate(plan, engine.run(list(plan.specs)))

@@ -155,6 +155,7 @@ def build_table(
     base_seed: int = 20010800,
     completeness_trials: int | None = None,
     completeness_n_updates: int = 8,
+    kernel: str = "array",
 ) -> TableResult:
     """Run the full trial matrix for one table experiment.
 
@@ -180,12 +181,15 @@ def build_table(
         cell_offset = zlib.crc32(f"{table_id}/{row}".encode()) % 100_000
         for trial in range(trials):
             seed = base_seed + cell_offset + trial
-            run = run_scenario(scenario, algorithm, seed, n_updates=n_updates)
+            run = run_scenario(
+                scenario, algorithm, seed, n_updates=n_updates, kernel=kernel
+            )
             tally.add(run.evaluate_properties(), seed=seed)
         for trial in range(completeness_trials):
             seed = base_seed + 7_000_000 + cell_offset + trial
             run = run_scenario(
-                scenario, algorithm, seed, n_updates=completeness_n_updates
+                scenario, algorithm, seed, n_updates=completeness_n_updates,
+                kernel=kernel,
             )
             tally.add(run.evaluate_properties(), seed=seed)
         result.tallies[row] = tally

@@ -58,7 +58,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
                     f"unknown table {table_id!r}; known: {list(EXPECTED_GRIDS)}"
                 )
                 return 2
-            kwargs = {}
+            kwargs = {"kernel": args.kernel}
             if args.trials:
                 kwargs["trials"] = args.trials
             if args.updates:
@@ -110,7 +110,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         tracer = CountersTracer()
     run = run_scenario(
         scenario, args.algorithm, args.seed, n_updates=args.updates,
-        tracer=tracer,
+        tracer=tracer, kernel=args.kernel,
     )
     print(f"scenario: {scenario.label}")
     print(f"algorithm: {args.algorithm}, seed: {args.seed}")
@@ -186,6 +186,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         batch_size=args.batch,
         n_updates=args.updates,
         replication=args.replication,
+        kernel=args.kernel,
     )
     if resolve_processes(args.processes) > 1:
         with TrialEngine(processes=args.processes) as engine:
@@ -294,6 +295,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         row=args.row,
         algorithm=args.algorithm,
         n_updates=args.updates,
+        kernel=args.kernel,
     )
     if resolve_processes(args.processes) > 1:
         with TrialEngine(processes=args.processes) as engine:
@@ -363,7 +365,7 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
             faults = None
     spec = TrialSpec(
         matrix, args.row, args.algorithm, args.seed, args.updates,
-        args.replication, faults=faults,
+        args.replication, faults=faults, kernel=args.kernel,
     )
     trace = record_trial(spec)
     out = args.out or (
@@ -455,6 +457,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--trials", type=int, default=None)
     p_tables.add_argument("--updates", type=int, default=None)
     p_tables.add_argument(
+        "--kernel",
+        choices=("object", "array"),
+        default="array",
+        help="trial executor: struct-of-arrays fast path (default) or the "
+        "event-object oracle (differentially identical, slower)",
+    )
+    p_tables.add_argument(
         "--processes",
         type=_processes_arg,
         default=1,
@@ -473,6 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_scenario.add_argument("--seed", type=int, default=0)
     p_scenario.add_argument("--updates", type=int, default=30)
     p_scenario.add_argument("--multi", action="store_true")
+    p_scenario.add_argument(
+        "--kernel", choices=("object", "array"), default="array",
+        help="trial executor (array = fast path, object = oracle)",
+    )
     p_scenario.add_argument("--timeline", action="store_true")
     p_scenario.add_argument(
         "--counters",
@@ -494,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trec.add_argument("--updates", type=int, default=30)
     p_trec.add_argument("--replication", type=int, default=2)
     p_trec.add_argument("--multi", action="store_true")
+    p_trec.add_argument(
+        "--kernel", choices=("object", "array"), default="array",
+        help="trial executor (both record bit-identical traces)",
+    )
     p_trec.add_argument("--out", default=None, help="output .jsonl path")
     p_trec.add_argument(
         "--chaos",
@@ -549,6 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--updates", type=int, default=20,
                         help="baseline reading count for initial inputs")
     p_fuzz.add_argument("--replication", type=int, default=2)
+    p_fuzz.add_argument(
+        "--kernel", choices=("object", "array"), default="array",
+        help="trial executor every campaign spec runs under",
+    )
     p_fuzz.add_argument(
         "--fuzz-seed", type=int, default=0,
         help="seed of the fuzzer's own RNG streams (campaigns replay)",
@@ -612,6 +633,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--row", choices=list(ROW_ORDER), default="non-historical")
     p_chaos.add_argument("--algorithm", default="AD-4")
     p_chaos.add_argument("--updates", type=int, default=30)
+    p_chaos.add_argument(
+        "--kernel", choices=("object", "array"), default="array",
+        help="trial executor (array = fast path, object = oracle)",
+    )
     p_chaos.add_argument(
         "--processes",
         type=_processes_arg,

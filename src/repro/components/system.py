@@ -314,12 +314,27 @@ def run_system(
     seed: int = 0,
     algorithm: ADAlgorithm | None = None,
     tracer: object | None = None,
+    kernel: str = "object",
 ) -> RunResult:
     """Build and run a system in one call.
 
     ``tracer`` (see :mod:`repro.observability`) observes the run's kernel,
     link, CE and AD events; ``None`` — the default — disables tracing.
+
+    ``kernel`` selects the trial executor: ``"object"`` (this module's
+    event-object simulator, the authoritative semantics) or ``"array"``
+    (:mod:`repro.simulation.arraykernel`, the struct-of-arrays fast path
+    that must produce identical results and bit-identical traces).
     """
+    if kernel == "array":
+        from repro.simulation.arraykernel import run_system_array
+
+        return run_system_array(
+            condition, workload, config, seed=seed,
+            algorithm=algorithm, tracer=tracer,
+        )
+    if kernel != "object":
+        raise ValueError(f"unknown kernel {kernel!r}; expected 'object' or 'array'")
     return MonitoringSystem(
         condition, workload, config, seed, algorithm, tracer=tracer
     ).run()

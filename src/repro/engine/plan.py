@@ -49,6 +49,7 @@ def plan_table(
     completeness_n_updates: int = 8,
     collect_counters: bool = False,
     faults=None,
+    kernel: str = "array",
 ) -> TablePlan:
     """Lay out every trial of a table experiment as TrialSpecs.
 
@@ -80,7 +81,7 @@ def plan_table(
                 TrialSpec(
                     matrix, row, algorithm, base_seed + cell_offset + trial,
                     n_updates, collect_counters=collect_counters,
-                    faults=faults,
+                    faults=faults, kernel=kernel,
                 )
             )
         for trial in range(completeness_trials):
@@ -93,6 +94,7 @@ def plan_table(
                     completeness_n_updates,
                     collect_counters=collect_counters,
                     faults=faults,
+                    kernel=kernel,
                 )
             )
     return TablePlan(table_id, algorithm, multi, trials, tuple(specs))

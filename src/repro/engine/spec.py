@@ -63,6 +63,11 @@ class TrialSpec:
     #: (``link/drop:burst/...``, ``ad/filter:<why>/...``) — the input of
     #: the fuzzer's behaviour-coverage signature (:mod:`repro.fuzz`).
     collect_coverage: bool = False
+    #: Trial executor: "array" (struct-of-arrays fast path) or "object"
+    #: (the event-object oracle).  Differentially tested to be
+    #: result- and trace-identical, so this knob only affects speed —
+    #: and old serialized specs without the field deserialize to "array".
+    kernel: str = "array"
 
     def __post_init__(self) -> None:
         if isinstance(self.faults, dict):
@@ -95,6 +100,7 @@ class TrialSpec:
             replication=self.replication,
             tracer=tracer,
             faults=self.faults,
+            kernel=self.kernel,
         )
         report = run.evaluate_properties()
         if tracer is not None:

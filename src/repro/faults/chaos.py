@@ -71,6 +71,7 @@ def chaos_specs(
     n_updates: int = 30,
     base_seed: int = CHAOS_BASE_SEED,
     profile: FaultProfile = DEFAULT_CHAOS_PROFILE,
+    kernel: str = "array",
 ) -> list[TrialSpec]:
     """The trial specs of one sweep cell, in ascending-seed order.
 
@@ -93,6 +94,7 @@ def chaos_specs(
             replication=replication,
             faults=faults,
             collect_delivery=True,
+            kernel=kernel,
         )
         for trial in range(trials)
     ]
@@ -156,6 +158,7 @@ def chaos_sweep(
     base_seed: int = CHAOS_BASE_SEED,
     profile: FaultProfile = DEFAULT_CHAOS_PROFILE,
     engine=None,
+    kernel: str = "array",
 ) -> list[ChaosCell]:
     """Sweep fault intensity × replication; one folded cell per point.
 
@@ -176,6 +179,7 @@ def chaos_sweep(
                 n_updates=n_updates,
                 base_seed=base_seed,
                 profile=profile,
+                kernel=kernel,
             )
             if engine is not None:
                 reports = engine.run(specs)

@@ -68,6 +68,8 @@ class FuzzConfig:
     #: How many clean-seed entries the initial corpus starts from.
     initial_inputs: int = 8
     limits: MutationLimits = field(default_factory=MutationLimits)
+    #: Trial executor every campaign spec runs under ("array" | "object").
+    kernel: str = "array"
 
     def __post_init__(self) -> None:
         if self.target is not None and self.target not in _TARGETS:
@@ -96,6 +98,7 @@ class FuzzConfig:
                 self.n_updates,
                 replication=self.replication,
                 collect_coverage=True,
+                kernel=self.kernel,
             )
             for _ in range(max(1, self.initial_inputs))
         ]
@@ -253,6 +256,7 @@ def uniform_specs(config: FuzzConfig, base_seed: int = FUZZ_BASE_SEED) -> list[T
             config.n_updates,
             replication=config.replication,
             collect_coverage=True,
+            kernel=config.kernel,
         )
         for trial in range(config.budget)
     ]

@@ -105,6 +105,7 @@ def record_trial(spec) -> RecordedTrace:
         replication=spec.replication,
         tracer=recorder,
         faults=getattr(spec, "faults", None),
+        kernel=getattr(spec, "kernel", "array"),
     )
     return RecordedTrace(
         spec=_canonical(asdict(spec)),

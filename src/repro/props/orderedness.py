@@ -12,8 +12,9 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro.accel import first_inversion
 from repro.core.alert import Alert, project_alert_seqnos
-from repro.core.sequences import first_inversion, is_ordered
+from repro.core.sequences import is_ordered
 
 __all__ = ["OrderednessResult", "check_orderedness", "is_alert_sequence_ordered"]
 

@@ -1,0 +1,1100 @@
+"""Array-native batched trial executor (struct-of-arrays fast path).
+
+The object kernel (:mod:`repro.simulation.kernel` driven through
+:class:`~repro.components.system.MonitoringSystem`) executes one trial as
+a heap of per-event closures.  That is the right shape for observability
+and for composing components, but it pays per event: a closure
+allocation, a heap sift, and an attribute-dispatch chain through
+DataMonitor → LossyFifoLink → CENode → expression-AST evaluation.
+
+This module executes the *same* trial as flat passes over preallocated
+lists — the struct-of-arrays layout:
+
+* **Integer-coded events.**  The untraced fast path has no event objects
+  at all.  The event graph of a monitoring run is feed-forward (readings
+  → front deliveries → back deliveries; no stage feeds an earlier one),
+  so the run decomposes into three phases executed as plain loops over
+  sorted tuple arrays, with integer *rank* counters replicating the
+  object kernel's ``(time, seq)`` tie-breaking exactly.
+* **Batched RNG draws.**  Per-link draws come from the same named
+  ``simulation/rng.py`` streams in the same order, but the draw sites are
+  inlined (``lo + span * rng.random()`` instead of a DelayModel dispatch
+  per message), so a whole trial's worth of draws for one link is
+  materialized by tight repeated calls on one bound method.
+* **Compiled conditions.**  :class:`~repro.core.condition.ExpressionCondition`
+  ASTs are compiled once (cached by ``cache_key()``) into plain lambdas
+  over the per-variable history buffers, replacing the per-delivery AST
+  walk.  Opaque conditions fall back to the real
+  :class:`~repro.core.evaluator.ConditionEvaluator`.
+
+Differential oracle contract: for any ``(condition, workload, config,
+seed)`` — including fault-injected configs — :func:`run_system_array`
+returns a :class:`~repro.components.system.RunResult` equal to the object
+kernel's, and when a tracer is attached it emits a bit-identical
+``repro.trace/1`` event stream.  The traced path replays the object
+kernel's global schedule-sequence counter natively rather than delegating
+to it, so trace equality is a real end-to-end check, not a tautology.
+The object kernel stays authoritative; this module must follow it.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.components.system import RunResult, SystemConfig, Workload
+from repro.core.alert import Alert
+from repro.core.condition import Condition, ExpressionCondition
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.expressions import (
+    Abs,
+    And,
+    BinOp,
+    BoolConst,
+    Compare,
+    Const,
+    FieldRef,
+    Neg,
+    Not,
+    Or,
+)
+from repro.core.history import HistorySnapshot
+from repro.core.update import Update
+from repro.displayers.ad5 import AD5
+from repro.displayers.base import ADAlgorithm
+from repro.displayers.registry import PassThrough, make_ad
+from repro.simulation.kernel import SimulationError
+from repro.simulation.network import FixedDelay, PerLinkSkewDelay, UniformDelay
+from repro.simulation.rng import RandomStreams
+
+__all__ = ["run_system_array", "compile_condition"]
+
+
+# ---------------------------------------------------------------------------
+# Condition compilation: ExpressionCondition AST -> plain lambda
+# ---------------------------------------------------------------------------
+
+class _Unsupported(Exception):
+    """An AST node the code generator does not know (fall back to AST walk)."""
+
+
+#: cache_key() -> compiled closure, or _UNSUPPORTED for uncompilable ASTs.
+_CLOSURE_CACHE: dict[tuple, object] = {}
+_UNSUPPORTED = object()
+
+
+def _render_num(node, names: dict[str, str]) -> str:
+    kind = type(node)
+    if kind is Const:
+        return repr(node.value)
+    if kind is FieldRef:
+        # Buffers are lists most-recent-first, so H.x[-i] is buf[i].
+        # float() matches FieldRef.evaluate's coercion (seqnos are ints).
+        return f"float({names[node.varname]}[{-node.index}].{node.fieldname})"
+    if kind is BinOp:
+        left = _render_num(node.left, names)
+        right = _render_num(node.right, names)
+        return f"({left} {node.op} {right})"
+    if kind is Neg:
+        return f"(-{_render_num(node.operand, names)})"
+    if kind is Abs:
+        return f"abs({_render_num(node.operand, names)})"
+    raise _Unsupported(kind.__name__)
+
+
+def _render_bool(node, names: dict[str, str]) -> str:
+    kind = type(node)
+    if kind is Compare:
+        left = _render_num(node.left, names)
+        right = _render_num(node.right, names)
+        return f"({left} {node.op} {right})"
+    if kind is And:
+        return f"({_render_bool(node.left, names)} and {_render_bool(node.right, names)})"
+    if kind is Or:
+        return f"({_render_bool(node.left, names)} or {_render_bool(node.right, names)})"
+    if kind is Not:
+        return f"(not {_render_bool(node.operand, names)})"
+    if kind is BoolConst:
+        return "True" if node.value else "False"
+    raise _Unsupported(kind.__name__)
+
+
+def compile_condition(condition: Condition):
+    """Compile a condition into ``lambda buf_0, ..., buf_n: bool``.
+
+    Arguments are the per-variable history buffers in sorted-variable
+    order, each a list of :class:`Update` most-recent-first and already
+    filled to the variable's degree.  Returns None when the condition is
+    not a plain :class:`ExpressionCondition` (subclasses may override
+    evaluation hooks) or contains an unknown AST node — callers then use
+    the real :class:`ConditionEvaluator`.
+
+    The conservative gap-guard of :meth:`Condition.evaluate` is compiled
+    in as integer seqno-consecutiveness conjuncts, mirroring
+    ``UpdateHistory.is_consecutive``.
+    """
+    if type(condition) is not ExpressionCondition:
+        return None
+    key = condition.cache_key()
+    cached = _CLOSURE_CACHE.get(key)
+    if cached is not None:
+        return None if cached is _UNSUPPORTED else cached
+    variables = condition.variables
+    names = {var: f"b{i}" for i, var in enumerate(variables)}
+    try:
+        body = _render_bool(condition.expression, names)
+    except _Unsupported:
+        _CLOSURE_CACHE[key] = _UNSUPPORTED
+        return None
+    degrees = condition.degrees
+    if condition.is_conservative:
+        # For non-historical conditions every degree is 1, so the guard is
+        # vacuous and no clauses are emitted — exactly Condition.evaluate.
+        guards = []
+        for var in variables:
+            buf = names[var]
+            for i in range(degrees[var] - 1):
+                guards.append(f"{buf}[{i}].seqno == {buf}[{i + 1}].seqno + 1")
+        if guards:
+            body = "(" + " and ".join(guards) + ") and " + body
+    args = ", ".join(names[var] for var in variables)
+    fn = eval(  # noqa: S307 - source is generated from a closed AST
+        f"lambda {args}: {body}",
+        {"abs": abs, "float": float, "__builtins__": {}},
+    )
+    _CLOSURE_CACHE[key] = fn
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Delay-model dispatch codes for the inlined sampling sites
+# ---------------------------------------------------------------------------
+
+_D_UNIFORM, _D_FIXED, _D_SKEW, _D_GENERIC = 0, 1, 2, 3
+
+
+def _delay_parts(delay) -> tuple:
+    """(kind, params...) so hot loops can sample without method dispatch."""
+    kind = type(delay)
+    if kind is UniformDelay:
+        return (_D_UNIFORM, delay.min_delay, delay.max_delay - delay.min_delay)
+    if kind is FixedDelay:
+        return (_D_FIXED, delay.delay, 0.0)
+    if kind is PerLinkSkewDelay:
+        b0, b1 = delay.base_range
+        j0, j1 = delay.jitter_range
+        return (_D_SKEW, b0, b1 - b0, j0, j1 - j0, delay._bases)
+    return (_D_GENERIC,)
+
+
+# Event kind codes for the traced path's native heap.
+_E_READING, _E_FRONT, _E_BACK = 0, 1, 2
+
+_MAX_EVENTS = 1_000_000
+
+
+class _Trial:
+    """Shared setup for one trial: flattened link/CE/DM parameter arrays."""
+
+    def __init__(
+        self,
+        condition: Condition,
+        workload: Workload,
+        config: SystemConfig,
+        seed: int,
+        algorithm: ADAlgorithm | None,
+    ) -> None:
+        missing = set(condition.variables) - set(workload)
+        if missing:
+            raise ValueError(
+                f"workload lacks readings for condition variables: {sorted(missing)}"
+            )
+        self.condition = condition
+        self.config = config
+        self.seed = seed
+        #: A caller-supplied algorithm may be observed (or pre-seeded with
+        #: state) by the caller, so the inline AD scan below only replaces
+        #: offer() dispatch for algorithms this trial built itself.
+        self.own_algorithm = algorithm is None
+        self.algorithm = algorithm if algorithm is not None else make_ad(
+            config.ad_algorithm, condition
+        )
+        streams = RandomStreams(seed)
+        replication = config.replication
+        self.replication = replication
+
+        # -- DMs, in sorted-variable order (MonitoringSystem build order) --
+        self.variables = sorted(workload)
+        self.readings: list[list[tuple[float, float]]] = []
+        for var in self.variables:
+            entries = workload[var]
+            prev = float("-inf")
+            for t, _ in entries:
+                if t < prev:
+                    raise ValueError(
+                        "readings must be in non-decreasing time order"
+                    )
+                prev = t
+            self.readings.append(entries)
+        self.dm_crash = [
+            config.dm_crash_schedules.get(var) for var in self.variables
+        ]
+        self.suppressed = [0] * len(self.variables)
+        self.next_seqno = [1] * len(self.variables)
+        self.sent: list[list[Update]] = [[] for _ in self.variables]
+        self.sent_log: list[tuple[float, Update]] = []
+
+        # -- front links, indexed dm_idx * replication + ce_idx --
+        n_links = len(self.variables) * replication
+        self.n_links = n_links
+        self.fl_rng = [None] * n_links
+        self.fl_rnd = [None] * n_links
+        self.fl_loss = [0.0] * n_links
+        self.fl_tag = [0] * n_links
+        self.fl_last_tag = [-1] * n_links
+        self.fl_skew_base: list[float | None] = [None] * n_links
+        for dm_idx, var in enumerate(self.variables):
+            for ce_idx in range(replication):
+                li = dm_idx * replication + ce_idx
+                rng = streams.stream(f"front/{var}/CE{ce_idx + 1}")
+                self.fl_rng[li] = rng
+                self.fl_rnd[li] = rng.random
+                self.fl_loss[li] = config.front_loss_per_ce.get(
+                    ce_idx, config.front_loss
+                )
+        self.front_parts = _delay_parts(config.front_delay)
+        if self.front_parts[0] == _D_SKEW:
+            bases = self.front_parts[5]
+            for li in range(n_links):
+                self.fl_skew_base[li] = bases.get(id(self.fl_rng[li]))
+
+        # -- CEs and back links --
+        self.ce_crash = [config.crash_schedules.get(i) for i in range(replication)]
+        self.front_outage = [config.front_outages.get(i) for i in range(replication)]
+        self.back_outage = [config.back_outages.get(i) for i in range(replication)]
+        self.missed = [0] * replication
+        self.bl_rng = [streams.stream(f"back/CE{i + 1}") for i in range(replication)]
+        self.bl_rnd = [rng.random for rng in self.bl_rng]
+        self.bl_last = [0.0] * replication
+        self.back_parts = _delay_parts(config.back_delay)
+        self.bl_skew_base: list[float | None] = [None] * replication
+        if self.back_parts[0] == _D_SKEW:
+            bases = self.back_parts[5]
+            for ce_idx in range(replication):
+                self.bl_skew_base[ce_idx] = bases.get(id(self.bl_rng[ce_idx]))
+
+        # -- CE evaluation state: compiled fast path or real evaluator --
+        self.closure = compile_condition(condition)
+        if self.closure is not None:
+            degrees = condition.degrees
+            self.cond_vars = condition.variables
+            self.cond_degrees = [degrees[var] for var in self.cond_vars]
+            #: per CE: one history buffer (most-recent-first list) per
+            #: condition variable, in condition-variable order (the order
+            #: the compiled closure takes its arguments in).
+            self.bufs = [
+                [[] for _ in self.cond_vars] for _ in range(replication)
+            ]
+            #: per CE: varname -> (buffer, degree) for O(1) ingest lookup.
+            self.buf_deg = [
+                {
+                    var: (bufs[i], self.cond_degrees[i])
+                    for i, var in enumerate(self.cond_vars)
+                }
+                for bufs in self.bufs
+            ]
+            #: HistorySnapshot._entries keys must be in sorted-variable
+            #: order (from_trusted canonicalizes with dict(sorted(...)));
+            #: precompute (varname, buffer-index) pairs in that order so
+            #: the hot path can build the dict pre-sorted.
+            self.snap_pairs = sorted(
+                (var, i) for i, var in enumerate(self.cond_vars)
+            )
+            self.defined = [False] * replication
+            self.received: list[list[Update]] = [[] for _ in range(replication)]
+            self.ce_alerts: list[list[Alert]] = [[] for _ in range(replication)]
+            self.evaluators = None
+        else:
+            self.evaluators = [
+                ConditionEvaluator(condition, source=f"CE{i + 1}")
+                for i in range(replication)
+            ]
+
+        # -- AD --
+        self.ad_arrivals: list[Alert] = []
+        self.ad_times: list[float] = []
+        self.ad_avail = config.ad_crash_schedule
+        #: Filled by the untraced inline AD scan (pass/AD-5); None means
+        #: the real ADAlgorithm object processed the stream and holds the
+        #: output (the traced path and the generic-algorithm fallback).
+        self.displayed: tuple[Alert, ...] | None = None
+        self.filtered: tuple[Alert, ...] | None = None
+
+    # -- shared inner steps --------------------------------------------------
+
+    def _sample_front(self, li: int, now: float) -> float:
+        """One front-link delay draw for link ``li`` at time ``now``.
+
+        Mirrors ``Link._sample_delay``: model draw, then spike factor.
+        The hot untraced loop inlines the uniform/skew cases; this helper
+        serves the duplicate-copy path and the traced path.
+        """
+        parts = self.front_parts
+        kind = parts[0]
+        if kind == _D_UNIFORM:
+            delay = parts[1] + parts[2] * self.fl_rnd[li]()
+        elif kind == _D_SKEW:
+            base = self.fl_skew_base[li]
+            if base is None:
+                base = parts[1] + parts[2] * self.fl_rnd[li]()
+                self.fl_skew_base[li] = base
+                parts[5][id(self.fl_rng[li])] = base
+            delay = base + (parts[3] + parts[4] * self.fl_rnd[li]())
+        elif kind == _D_FIXED:
+            delay = parts[1]
+        else:
+            delay = self.config.front_delay.sample(self.fl_rng[li])
+        spikes = self.config.front_delay_spikes
+        if spikes is not None:
+            delay *= spikes.factor_at(now)
+        return delay
+
+    def _sample_back(self, ce_idx: int, now: float) -> float:
+        parts = self.back_parts
+        kind = parts[0]
+        if kind == _D_UNIFORM:
+            delay = parts[1] + parts[2] * self.bl_rnd[ce_idx]()
+        elif kind == _D_SKEW:
+            base = self.bl_skew_base[ce_idx]
+            if base is None:
+                base = parts[1] + parts[2] * self.bl_rnd[ce_idx]()
+                self.bl_skew_base[ce_idx] = base
+                parts[5][id(self.bl_rng[ce_idx])] = base
+            delay = base + (parts[3] + parts[4] * self.bl_rnd[ce_idx]())
+        elif kind == _D_FIXED:
+            delay = parts[1]
+        else:
+            delay = self.config.back_delay.sample(self.bl_rng[ce_idx])
+        spikes = self.config.back_delay_spikes
+        if spikes is not None:
+            delay *= spikes.factor_at(now)
+        return delay
+
+    def _ingest(self, ce_idx: int, update: Update) -> Alert | None:
+        """CE evaluation step; exact ConditionEvaluator.ingest semantics.
+
+        Serves the traced path and the duplicate-heavy corners; the
+        untraced phase-2 loop inlines an equivalent body.
+        """
+        if self.closure is None:
+            return self.evaluators[ce_idx].ingest(update)
+        pair = self.buf_deg[ce_idx].get(update.varname)
+        if pair is None:
+            # Variable outside V: ignored entirely, not recorded.
+            return None
+        buf, degree = pair
+        buf.insert(0, update)
+        if len(buf) > degree:
+            buf.pop()
+        self.received[ce_idx].append(update)
+        bufs = self.bufs[ce_idx]
+        if not self.defined[ce_idx]:
+            for entries, deg in zip(bufs, self.cond_degrees):
+                if len(entries) < deg:
+                    return None
+            self.defined[ce_idx] = True
+        if not self.closure(*bufs):
+            return None
+        alert = Alert(
+            self.condition.name,
+            HistorySnapshot.from_trusted(
+                {var: tuple(entries) for var, entries in zip(self.cond_vars, bufs)}
+            ),
+            f"CE{ce_idx + 1}",
+        )
+        self.ce_alerts[ce_idx].append(alert)
+        return alert
+
+    def _deliver_back(self, ce_idx: int, now: float) -> float:
+        """Back-link delivery-time computation (ReliableLink/StoreAndForward).
+
+        Returns the delivery time; updates the per-link monotone clamp.
+        Used by the untraced path (the traced path re-derives it inline so
+        it can emit the hold events at the right points).
+        """
+        raw = now + self._sample_back(ce_idx, now)
+        outage = self.back_outage[ce_idx]
+        if outage is not None:
+            up_at = outage.next_up_time(raw)
+            if up_at > raw:
+                raw = up_at
+        delivery = raw if raw > self.bl_last[ce_idx] else self.bl_last[ce_idx]
+        if self.ad_avail is not None:
+            available_at = self.ad_avail.next_up_time(delivery)
+            if available_at > delivery:
+                delivery = available_at
+        self.bl_last[ce_idx] = delivery
+        if delivery < now:
+            raise SimulationError(
+                f"cannot schedule at {delivery} before current time {now}"
+            )
+        return delivery
+
+    # -- result assembly -----------------------------------------------------
+
+    def result(self) -> RunResult:
+        if self.closure is None:
+            received = tuple(e.received for e in self.evaluators)
+            ce_alerts = tuple(e.alerts for e in self.evaluators)
+        else:
+            received = tuple(tuple(r) for r in self.received)
+            ce_alerts = tuple(tuple(a) for a in self.ce_alerts)
+        return RunResult(
+            condition=self.condition,
+            config=self.config,
+            seed=self.seed,
+            sent={
+                var: tuple(sent)
+                for var, sent in zip(self.variables, self.sent)
+            },
+            # Appended in fire order on both paths: readings execute in
+            # (time, schedule-seq) order, scheduling is DM-major over
+            # sorted variables, so append order is already the object
+            # kernel's sorted (time, varname) order.
+            sent_log=tuple(self.sent_log),
+            received=received,
+            ce_alerts=ce_alerts,
+            ad_arrivals=tuple(self.ad_arrivals),
+            ad_arrival_times=tuple(self.ad_times),
+            displayed=(
+                self.displayed if self.displayed is not None
+                else self.algorithm.output
+            ),
+            filtered=(
+                self.filtered if self.filtered is not None
+                else self.algorithm.discarded
+            ),
+            missed_while_down=tuple(self.missed),
+            dm_suppressed=tuple(self.suppressed),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Untraced fast path: three flat phases, no heap, no event objects
+# ---------------------------------------------------------------------------
+
+def _run_untraced(trial: _Trial) -> RunResult:
+    config = trial.config
+    replication = trial.replication
+    _new = object.__new__
+    _oset = object.__setattr__
+
+    # Phase 1 — readings.  The object kernel schedules every reading before
+    # any delivery (so reading seqs globally precede delivery seqs) and
+    # per-DM reading times are non-decreasing, so its fire order is exactly
+    # (time, dm_idx, reading_idx).  Readings mutate only DM/send-side state,
+    # so they can all run before any delivery.
+    merged: list[tuple[float, int, int, float]] = []
+    for dm_idx, entries in enumerate(trial.readings):
+        for ridx, (time, value) in enumerate(entries):
+            if time < 0.0:
+                raise SimulationError(
+                    f"cannot schedule at {time} before current time 0.0"
+                )
+            merged.append((time, dm_idx, ridx, value))
+    merged.sort()
+
+    variables = trial.variables
+    dm_crash = trial.dm_crash
+    suppressed = trial.suppressed
+    next_seqno = trial.next_seqno
+    sent_append = [s.append for s in trial.sent]
+    sent_log_append = trial.sent_log.append
+    fl_rnd = trial.fl_rnd
+    fl_rng = trial.fl_rng
+    fl_loss = trial.fl_loss
+    fl_tag = trial.fl_tag
+    fl_skew_base = trial.fl_skew_base
+    front_outage = trial.front_outage
+    parts = trial.front_parts
+    front_kind = parts[0]
+    fp1 = parts[1] if len(parts) > 1 else 0.0
+    fp2 = parts[2] if len(parts) > 2 else 0.0
+    fp3 = parts[3] if len(parts) > 3 else 0.0
+    fp4 = parts[4] if len(parts) > 4 else 0.0
+    front_spikes = config.front_delay_spikes
+    loss_model = config.front_loss_model
+    duplication = config.front_duplication
+    ce_range = range(replication)
+
+    #: (arrival_time, rank, tag, link_idx, update) — rank replicates the
+    #: object kernel's schedule-seq *relative* order among front events.
+    arrivals: list[tuple[float, int, int, int, Update]] = []
+    arrivals_append = arrivals.append
+    if loss_model is None and duplication is None:
+        # Common path: per-link RNG streams are independent (Bernoulli
+        # coin and delay draws both come from the link's own stream), so
+        # after one merged pass materializes the surviving updates, each
+        # link's whole trial of draws runs as one tight batch.  Ranks are
+        # assigned ``reading_index * replication + ce_idx``: not dense,
+        # but monotone in the object kernel's schedule order, which is
+        # all the phase-2 sort needs.
+        surviving: list[list[tuple[int, float, Update]]] = [
+            [] for _ in variables
+        ]
+        r_index = 0
+        for time, dm_idx, _ridx, value in merged:
+            crash = dm_crash[dm_idx]
+            if crash is not None and not crash.is_up(time):
+                suppressed[dm_idx] += 1
+                continue
+            seqno = next_seqno[dm_idx]
+            next_seqno[dm_idx] = seqno + 1
+            # Fast frozen-dataclass construction: the inputs are valid by
+            # construction (non-empty varname, seqno >= 1), so skip
+            # __init__'s indirection and __post_init__ validation.
+            update = _new(Update)
+            _oset(update, "varname", variables[dm_idx])
+            _oset(update, "seqno", seqno)
+            _oset(update, "value", value)
+            sent_append[dm_idx](update)
+            sent_log_append((time, update))
+            surviving[dm_idx].append((r_index, time, update))
+            r_index += 1
+        for dm_idx in range(len(variables)):
+            batch = surviving[dm_idx]
+            if not batch:
+                continue
+            base_li = dm_idx * replication
+            for ce_idx in ce_range:
+                li = base_li + ce_idx
+                rnd = fl_rnd[li]
+                loss = fl_loss[li]
+                outage = front_outage[ce_idx]
+                tag = fl_tag[li]
+                skew_base = fl_skew_base[li]
+                for r_index, time, update in batch:
+                    mtag = tag
+                    tag += 1
+                    if outage is not None and not outage.is_up(time):
+                        continue
+                    if rnd() < loss:
+                        continue
+                    if front_kind == _D_UNIFORM:
+                        delay = fp1 + fp2 * rnd()
+                    elif front_kind == _D_SKEW:
+                        if skew_base is None:
+                            skew_base = fp1 + fp2 * rnd()
+                            fl_skew_base[li] = skew_base
+                            parts[5][id(fl_rng[li])] = skew_base
+                        delay = skew_base + (fp3 + fp4 * rnd())
+                    elif front_kind == _D_FIXED:
+                        delay = fp1
+                    else:
+                        delay = config.front_delay.sample(fl_rng[li])
+                    if front_spikes is not None:
+                        delay *= front_spikes.factor_at(time)
+                    if delay < 0:
+                        raise SimulationError(
+                            f"cannot schedule into the past (delay={delay})"
+                        )
+                    arrivals_append(
+                        (time + delay,
+                         r_index * replication + ce_idx, mtag, li, update)
+                    )
+                fl_tag[li] = tag
+    else:
+        # Adversarial path: a shared stateful loss model (Gilbert–Elliott
+        # chain) or duplication draws consume randomness in global fire
+        # order, so sends must interleave exactly as the object kernel's.
+        rank = 0
+        for time, dm_idx, _ridx, value in merged:
+            crash = dm_crash[dm_idx]
+            if crash is not None and not crash.is_up(time):
+                suppressed[dm_idx] += 1
+                continue
+            seqno = next_seqno[dm_idx]
+            next_seqno[dm_idx] = seqno + 1
+            update = _new(Update)
+            _oset(update, "varname", variables[dm_idx])
+            _oset(update, "seqno", seqno)
+            _oset(update, "value", value)
+            sent_append[dm_idx](update)
+            sent_log_append((time, update))
+            base_li = dm_idx * replication
+            for ce_idx in ce_range:
+                li = base_li + ce_idx
+                tag = fl_tag[li]
+                fl_tag[li] = tag + 1
+                outage = front_outage[ce_idx]
+                if outage is not None and not outage.is_up(time):
+                    continue
+                rnd = fl_rnd[li]
+                if loss_model is not None:
+                    if loss_model.dropped(fl_rng[li]):
+                        continue
+                elif rnd() < fl_loss[li]:
+                    continue
+                if front_kind == _D_UNIFORM:
+                    delay = fp1 + fp2 * rnd()
+                elif front_kind == _D_SKEW:
+                    base = fl_skew_base[li]
+                    if base is None:
+                        base = fp1 + fp2 * rnd()
+                        fl_skew_base[li] = base
+                        parts[5][id(fl_rng[li])] = base
+                    delay = base + (fp3 + fp4 * rnd())
+                elif front_kind == _D_FIXED:
+                    delay = fp1
+                else:
+                    delay = config.front_delay.sample(fl_rng[li])
+                if front_spikes is not None:
+                    delay *= front_spikes.factor_at(time)
+                if delay < 0:
+                    raise SimulationError(
+                        f"cannot schedule into the past (delay={delay})"
+                    )
+                arrivals_append((time + delay, rank, tag, li, update))
+                rank += 1
+                if duplication is not None:
+                    for _ in range(duplication.draw_copies(fl_rng[li])):
+                        delay = trial._sample_front(li, time)
+                        if delay < 0:
+                            raise SimulationError(
+                                f"cannot schedule into the past (delay={delay})"
+                            )
+                        arrivals_append((time + delay, rank, tag, li, update))
+                        rank += 1
+
+    # Phase 2 — front deliveries in (time, rank) order.  Back-link sends
+    # happen inline (their RNG draws occur in delivery-fire order, exactly
+    # as in the object kernel); deliveries to the AD are deferred to phase 3
+    # since they touch only AD state.
+    arrivals.sort()
+    fl_last_tag = trial.fl_last_tag
+    ce_crash = trial.ce_crash
+    missed = trial.missed
+    back_events: list[tuple[float, int, Alert, tuple | None]] = []
+    back_append = back_events.append
+    brank = 0
+
+    # Back-link locals, shared by both phase-2 bodies below.
+    bparts = trial.back_parts
+    back_kind = bparts[0]
+    bp1 = bparts[1] if len(bparts) > 1 else 0.0
+    bp2 = bparts[2] if len(bparts) > 2 else 0.0
+    bp3 = bparts[3] if len(bparts) > 3 else 0.0
+    bp4 = bparts[4] if len(bparts) > 4 else 0.0
+    back_spikes = config.back_delay_spikes
+    bl_rnd = trial.bl_rnd
+    bl_rng = trial.bl_rng
+    bl_skew_base = trial.bl_skew_base
+    bl_last = trial.bl_last
+    back_outage = trial.back_outage
+    ad_avail = trial.ad_avail
+
+    closure = trial.closure
+    algorithm = trial.algorithm
+    #: Inline AD-5 needs per-alert head seqnos in algorithm.varnames order;
+    #: the closure path has them for free iff the buffer order matches.
+    ad5_inline = (
+        trial.own_algorithm
+        and type(algorithm) is AD5
+        and closure is not None
+        and tuple(algorithm.varnames) == tuple(trial.cond_vars)
+    )
+    if closure is not None:
+        buf_deg = trial.buf_deg
+        bufs_all = trial.bufs
+        cond_degrees = trial.cond_degrees
+        defined = trial.defined
+        recv_append = [r.append for r in trial.received]
+        ce_alerts_append = [a.append for a in trial.ce_alerts]
+        snap_pairs = trial.snap_pairs
+        condname = trial.condition.name
+        sources = [f"CE{i + 1}" for i in ce_range]
+        # Per-link lookup tables: one list index replaces a modulo plus a
+        # dict probe in the delivery loop.
+        li_ce = [li % replication for li in range(trial.n_links)]
+        li_pair = [
+            buf_deg[li % replication].get(variables[li // replication])
+            for li in range(trial.n_links)
+        ]
+        for time, _rank, tag, li, update in arrivals:
+            if tag <= fl_last_tag[li]:
+                continue  # duplicate or reordered datagram: receiver drops it
+            fl_last_tag[li] = tag
+            ce_idx = li_ce[li]
+            crash = ce_crash[ce_idx]
+            if crash is not None and not crash.is_up(time):
+                missed[ce_idx] += 1
+                continue
+            # -- inline ConditionEvaluator.ingest ------------------------
+            pair = li_pair[li]
+            if pair is None:
+                continue  # variable outside V: ignored entirely
+            buf, degree = pair
+            buf.insert(0, update)
+            if len(buf) > degree:
+                buf.pop()
+            recv_append[ce_idx](update)
+            bufs = bufs_all[ce_idx]
+            if not defined[ce_idx]:
+                short = False
+                for hist, deg in zip(bufs, cond_degrees):
+                    if len(hist) < deg:
+                        short = True
+                        break
+                if short:
+                    continue
+                defined[ce_idx] = True
+            if not closure(*bufs):
+                continue
+            # -- alert construction (fast frozen-dataclass path) ---------
+            entries_map = {}
+            for var, bi in snap_pairs:
+                entries_map[var] = tuple(bufs[bi])
+            snap = _new(HistorySnapshot)
+            _oset(snap, "_entries", entries_map)
+            alert = _new(Alert)
+            _oset(alert, "condname", condname)
+            _oset(alert, "histories", snap)
+            _oset(alert, "source", sources[ce_idx])
+            ce_alerts_append[ce_idx](alert)
+            # -- inline back-link send (ReliableLink/StoreAndForward) ----
+            if back_kind == _D_UNIFORM:
+                bdelay = bp1 + bp2 * bl_rnd[ce_idx]()
+            elif back_kind == _D_SKEW:
+                base = bl_skew_base[ce_idx]
+                if base is None:
+                    base = bp1 + bp2 * bl_rnd[ce_idx]()
+                    bl_skew_base[ce_idx] = base
+                    bparts[5][id(bl_rng[ce_idx])] = base
+                bdelay = base + (bp3 + bp4 * bl_rnd[ce_idx]())
+            elif back_kind == _D_FIXED:
+                bdelay = bp1
+            else:
+                bdelay = config.back_delay.sample(bl_rng[ce_idx])
+            if back_spikes is not None:
+                bdelay *= back_spikes.factor_at(time)
+            raw = time + bdelay
+            outage = back_outage[ce_idx]
+            if outage is not None:
+                up_at = outage.next_up_time(raw)
+                if up_at > raw:
+                    raw = up_at
+            last = bl_last[ce_idx]
+            delivery = raw if raw > last else last
+            if ad_avail is not None:
+                available_at = ad_avail.next_up_time(delivery)
+                if available_at > delivery:
+                    delivery = available_at
+            bl_last[ce_idx] = delivery
+            if delivery < time:
+                raise SimulationError(
+                    f"cannot schedule at {delivery} before current time {time}"
+                )
+            seqs = tuple([b[0].seqno for b in bufs]) if ad5_inline else None
+            back_append((delivery, brank, alert, seqs))
+            brank += 1
+    else:
+        ingest = trial._ingest
+        deliver_back = trial._deliver_back
+        for time, _rank, tag, li, update in arrivals:
+            if tag <= fl_last_tag[li]:
+                continue
+            fl_last_tag[li] = tag
+            ce_idx = li % replication
+            crash = ce_crash[ce_idx]
+            if crash is not None and not crash.is_up(time):
+                missed[ce_idx] += 1
+                continue
+            alert = ingest(ce_idx, update)
+            if alert is not None:
+                back_append((deliver_back(ce_idx, time), brank, alert, None))
+                brank += 1
+
+    # Phase 3 — AD deliveries in (time, brank) order.  For the two
+    # hottest algorithms the accept/record scan runs inline over plain
+    # ints; anything else goes through the real ADAlgorithm object.
+    back_events.sort()
+    ad_arrivals_append = trial.ad_arrivals.append
+    ad_times_append = trial.ad_times.append
+    if trial.own_algorithm and type(algorithm) is PassThrough:
+        displayed = []
+        for time, _brank, alert, _seqs in back_events:
+            ad_arrivals_append(alert)
+            ad_times_append(time)
+            displayed.append(alert)
+        trial.displayed = tuple(displayed)
+        trial.filtered = ()
+    elif trial.own_algorithm and type(algorithm) is AD5:
+        varnames = algorithm.varnames
+        ad_last = [-1] * len(varnames)
+        displayed = []
+        filtered = []
+        for time, _brank, alert, seqs in back_events:
+            ad_arrivals_append(alert)
+            ad_times_append(time)
+            if seqs is None:
+                seqno = alert.seqno
+                seqs = tuple([seqno(var) for var in varnames])
+            inverted = False
+            duplicate = True
+            for s, l in zip(seqs, ad_last):
+                if s < l:
+                    inverted = True
+                    break
+                if s != l:
+                    duplicate = False
+            if inverted or duplicate:
+                filtered.append(alert)
+            else:
+                ad_last[:] = seqs
+                displayed.append(alert)
+        trial.displayed = tuple(displayed)
+        trial.filtered = tuple(filtered)
+    else:
+        offer = algorithm.offer
+        for time, _brank, alert, _seqs in back_events:
+            ad_arrivals_append(alert)
+            ad_times_append(time)
+            offer(alert)
+
+    return trial.result()
+
+
+# ---------------------------------------------------------------------------
+# Traced path: native heap replaying the object kernel's (time, seq) order
+# and emitting a bit-identical repro.trace/1 event stream
+# ---------------------------------------------------------------------------
+
+def _emit_fault_surface(trial: _Trial, emit) -> None:
+    """Identical to MonitoringSystem._emit_fault_surface, field for field."""
+    config = trial.config
+    for index in sorted(config.crash_schedules):
+        for start, end in config.crash_schedules[index].windows:
+            emit(0.0, "fault", "ce-crash-window", f"CE{index + 1}",
+                 start=start, end=end)
+    for varname in sorted(config.dm_crash_schedules):
+        for start, end in config.dm_crash_schedules[varname].windows:
+            emit(0.0, "fault", "dm-crash-window", f"DM-{varname}",
+                 start=start, end=end)
+    if config.ad_crash_schedule is not None:
+        for start, end in config.ad_crash_schedule.windows:
+            emit(0.0, "fault", "ad-crash-window", "AD", start=start, end=end)
+    for index in sorted(config.front_outages):
+        for start, end in config.front_outages[index].windows:
+            emit(0.0, "fault", "front-outage-window", f"CE{index + 1}",
+                 start=start, end=end)
+    for index in sorted(config.back_outages):
+        for start, end in config.back_outages[index].windows:
+            emit(0.0, "fault", "back-outage-window", f"CE{index + 1}->AD",
+                 start=start, end=end)
+    if config.front_loss_model is not None:
+        params = config.front_loss_model.params
+        emit(0.0, "fault", "burst-loss", "front",
+             good_to_bad=params.good_to_bad, bad_to_good=params.bad_to_good,
+             loss_good=params.loss_good, loss_bad=params.loss_bad)
+    if config.front_duplication is not None:
+        emit(0.0, "fault", "duplication", "front",
+             prob=config.front_duplication.duplicate_prob,
+             max_copies=config.front_duplication.max_copies)
+    for side, spikes in (
+        ("front", config.front_delay_spikes),
+        ("back", config.back_delay_spikes),
+    ):
+        if spikes is not None:
+            for start, end in spikes.windows:
+                emit(0.0, "fault", "delay-spike-window", side,
+                     start=start, end=end, factor=spikes.factor)
+
+
+def _run_traced(trial: _Trial, tracer) -> RunResult:
+    config = trial.config
+    replication = trial.replication
+    emit = tracer.emit
+    _emit_fault_surface(trial, emit)
+    # Link display names are only needed for trace notes, so they are
+    # built here rather than in the (hot) shared _Trial setup.
+    trial.fl_name = [
+        f"DM-{var}->CE{ce_idx + 1}"
+        for var in trial.variables
+        for ce_idx in range(replication)
+    ]
+
+    # Heap of (time, seq, kind, payload); seq replicates the object
+    # kernel's global schedule counter exactly, including readings.
+    heap: list[tuple[float, int, int, tuple]] = []
+    seq = 0
+    for dm_idx, var in enumerate(trial.variables):
+        note = f"DM-{var} reading"
+        for time, value in trial.readings[dm_idx]:
+            if time < 0.0:
+                raise SimulationError(
+                    f"cannot schedule at {time} before current time 0.0"
+                )
+            emit(0.0, "kernel", "schedule", "", seq=seq, at=time, note=note)
+            heap.append((time, seq, _E_READING, (dm_idx, value, note)))
+            seq += 1
+    heapq.heapify(heap)
+
+    loss_model = config.front_loss_model
+    duplication = config.front_duplication
+    processed = 0
+    while heap:
+        if processed >= _MAX_EVENTS:
+            raise SimulationError(
+                f"exceeded max_events={_MAX_EVENTS}; runaway simulation?"
+            )
+        time, eseq, kind, payload = heapq.heappop(heap)
+        emit(time, "kernel", "fire", "", seq=eseq, note=payload[-1])
+        processed += 1
+
+        if kind == _E_READING:
+            dm_idx, value, _note = payload
+            crash = trial.dm_crash[dm_idx]
+            if crash is not None and not crash.is_up(time):
+                trial.suppressed[dm_idx] += 1
+                emit(time, "dm", "suppressed", f"DM-{trial.variables[dm_idx]}",
+                     value=value, reason="crashed")
+                continue
+            seqno = trial.next_seqno[dm_idx]
+            trial.next_seqno[dm_idx] = seqno + 1
+            update = Update(trial.variables[dm_idx], seqno, value)
+            trial.sent[dm_idx].append(update)
+            trial.sent_log.append((time, update))
+            msg = str(update)
+            for ce_idx in range(replication):
+                li = dm_idx * replication + ce_idx
+                name = trial.fl_name[li]
+                tag = trial.fl_tag[li]
+                trial.fl_tag[li] = tag + 1
+                emit(time, "link", "send", name, msg=msg, tag=tag)
+                outage = trial.front_outage[ce_idx]
+                if outage is not None and not outage.is_up(time):
+                    emit(time, "link", "drop", name,
+                         msg=msg, tag=tag, reason="outage")
+                    continue
+                if loss_model is not None:
+                    if loss_model.dropped(trial.fl_rng[li]):
+                        emit(time, "link", "drop", name,
+                             msg=msg, tag=tag, reason="burst")
+                        continue
+                elif trial.fl_rnd[li]() < trial.fl_loss[li]:
+                    emit(time, "link", "drop", name,
+                         msg=msg, tag=tag, reason="loss")
+                    continue
+                delay = trial._sample_front(li, time)
+                if delay < 0:
+                    raise SimulationError(
+                        f"cannot schedule into the past (delay={delay})"
+                    )
+                note = f"{name} deliver"
+                emit(time, "kernel", "schedule", "",
+                     seq=seq, at=time + delay, note=note)
+                heapq.heappush(
+                    heap, (time + delay, seq, _E_FRONT, (li, tag, update, note))
+                )
+                seq += 1
+                if duplication is not None:
+                    for _ in range(duplication.draw_copies(trial.fl_rng[li])):
+                        emit(time, "link", "duplicate", name, msg=msg, tag=tag)
+                        delay = trial._sample_front(li, time)
+                        if delay < 0:
+                            raise SimulationError(
+                                f"cannot schedule into the past (delay={delay})"
+                            )
+                        note = f"{name} dup-deliver"
+                        emit(time, "kernel", "schedule", "",
+                             seq=seq, at=time + delay, note=note)
+                        heapq.heappush(
+                            heap,
+                            (time + delay, seq, _E_FRONT, (li, tag, update, note)),
+                        )
+                        seq += 1
+
+        elif kind == _E_FRONT:
+            li, tag, update, _note = payload
+            name = trial.fl_name[li]
+            msg = str(update)
+            last = trial.fl_last_tag[li]
+            if tag <= last:
+                reason = "duplicate" if tag == last else "reorder"
+                emit(time, "link", "drop", name, msg=msg, tag=tag, reason=reason)
+                continue
+            trial.fl_last_tag[li] = tag
+            emit(time, "link", "deliver", name, msg=msg, tag=tag)
+            ce_idx = li % replication
+            ce_name = f"CE{ce_idx + 1}"
+            crash = trial.ce_crash[ce_idx]
+            if crash is not None and not crash.is_up(time):
+                trial.missed[ce_idx] += 1
+                emit(time, "ce", "missed", ce_name, msg=msg, reason="crashed")
+                continue
+            emit(time, "ce", "update-received", ce_name, msg=msg)
+            alert = trial._ingest(ce_idx, update)
+            if alert is None:
+                continue
+            emit(time, "ce", "alert-raised", ce_name, alert=str(alert))
+            back_name = f"{ce_name}->AD"
+            amsg = str(alert)
+            emit(time, "link", "send", back_name, msg=amsg)
+            raw = time + trial._sample_back(ce_idx, time)
+            outage = trial.back_outage[ce_idx]
+            if outage is not None:
+                up_at = outage.next_up_time(raw)
+                if up_at > raw:
+                    emit(time, "link", "hold", back_name,
+                         msg=amsg, until=up_at, reason="outage")
+                    raw = up_at
+            delivery = raw if raw > trial.bl_last[ce_idx] else trial.bl_last[ce_idx]
+            if trial.ad_avail is not None:
+                available_at = trial.ad_avail.next_up_time(delivery)
+                if available_at > delivery:
+                    emit(time, "link", "hold", back_name,
+                         msg=amsg, until=available_at)
+                    delivery = available_at
+            trial.bl_last[ce_idx] = delivery
+            if delivery < time:
+                raise SimulationError(
+                    f"cannot schedule at {delivery} before current time {time}"
+                )
+            note = f"{back_name} deliver"
+            emit(time, "kernel", "schedule", "", seq=seq, at=delivery, note=note)
+            heapq.heappush(heap, (delivery, seq, _E_BACK, (ce_idx, alert, note)))
+            seq += 1
+
+        else:  # _E_BACK
+            ce_idx, alert, _note = payload
+            amsg = str(alert)
+            emit(time, "link", "deliver", f"CE{ce_idx + 1}->AD", msg=amsg)
+            trial.ad_arrivals.append(alert)
+            trial.ad_times.append(time)
+            emit(time, "ad", "arrive", "AD", alert=amsg)
+            if trial.algorithm.offer(alert):
+                emit(time, "ad", "display", "AD", alert=amsg)
+            else:
+                emit(time, "ad", "filter", "AD", alert=amsg,
+                     reason=trial.algorithm.rejection_reason(alert))
+
+    return trial.result()
+
+
+def run_system_array(
+    condition: Condition,
+    workload: Workload,
+    config: SystemConfig,
+    seed: int = 0,
+    algorithm: ADAlgorithm | None = None,
+    tracer: object | None = None,
+) -> RunResult:
+    """Array-kernel equivalent of :func:`repro.components.system.run_system`.
+
+    Same inputs, same RunResult, same trace stream — see the module
+    docstring for the equivalence argument.  Dispatch to it via
+    ``run_system(..., kernel="array")`` rather than calling it directly.
+    """
+    trial = _Trial(condition, workload, config, seed, algorithm)
+    if tracer is None:
+        return _run_untraced(trial)
+    return _run_traced(trial, tracer)

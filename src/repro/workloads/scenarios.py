@@ -213,8 +213,14 @@ def run_scenario(
     crash_schedules: Mapping[int, CrashSchedule] | None = None,
     tracer: object | None = None,
     faults: object | None = None,
+    kernel: str = "array",
 ) -> RunResult:
     """Run one randomized trial of a scenario under an AD algorithm.
+
+    ``kernel`` selects the trial executor (``"array"`` — the default
+    struct-of-arrays fast path — or ``"object"``); the two are
+    differentially tested to produce identical results and bit-identical
+    traces, so the choice only affects speed.
 
     ``tracer`` (see :mod:`repro.observability`) observes the run; tracing
     never perturbs the simulation, so traced and untraced runs of the same
@@ -247,4 +253,6 @@ def run_scenario(
             variables=sorted(workload),
         )
         config = plan.apply_to(config)
-    return run_system(condition, workload, config, seed=seed, tracer=tracer)
+    return run_system(
+        condition, workload, config, seed=seed, tracer=tracer, kernel=kernel
+    )

@@ -1,0 +1,122 @@
+"""Differential testing: array kernel vs. the event-object oracle.
+
+The struct-of-arrays executor (:mod:`repro.simulation.arraykernel`) is
+only allowed to exist because it is *indistinguishable* from the object
+kernel: same property verdicts, same observability counters, bit-identical
+``repro.trace/1`` recordings, for every ``TrialSpec × FaultProfile``.
+Hypothesis drives random specs — scenario row, algorithm, seed, reading
+count, replication, chaos intensity — through both kernels and asserts
+exactly that.  Any divergence here voids every benchmark number, so these
+tests are the PR's real deliverable; the speedup is just a side effect.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.spec import TrialSpec
+from repro.faults import DEFAULT_CHAOS_PROFILE
+from repro.observability import record_trial
+from repro.workloads.scenarios import ROW_ORDER
+
+rows = st.sampled_from(list(ROW_ORDER))
+seeds = st.integers(0, 2**31)
+algorithms_single = st.sampled_from(["pass", "AD-1", "AD-2", "AD-3", "AD-4"])
+algorithms_multi = st.sampled_from(["pass", "AD-1", "AD-5", "AD-6"])
+replications = st.integers(1, 3)
+intensities = st.floats(0.25, 3.0, allow_nan=False, allow_infinity=False)
+
+
+def _both_kernels(spec: TrialSpec) -> tuple[TrialSpec, TrialSpec]:
+    return replace(spec, kernel="object"), replace(spec, kernel="array")
+
+
+def _assert_reports_identical(spec: TrialSpec) -> None:
+    object_spec, array_spec = _both_kernels(spec)
+    object_report = object_spec.execute()
+    array_report = array_spec.execute()
+    assert object_report == array_report
+    assert object_report.summary == array_report.summary
+    # counters/delivery are compare=False on PropertyReport, so the
+    # dataclass equality above does not cover them.
+    assert object_report.counters == array_report.counters
+    assert object_report.delivery == array_report.delivery
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows, algorithms_single, seeds, st.integers(4, 14), replications)
+def test_single_variable_reports_identical(row, algorithm, seed, n, replication):
+    _assert_reports_identical(
+        TrialSpec(
+            "single", row, algorithm, seed, n,
+            replication=replication, collect_counters=True,
+        )
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(rows, algorithms_multi, seeds, st.integers(4, 8), replications)
+def test_multi_variable_reports_identical(row, algorithm, seed, n, replication):
+    _assert_reports_identical(
+        TrialSpec(
+            "multi", row, algorithm, seed, n,
+            replication=replication, collect_counters=True,
+        )
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows, algorithms_single, seeds, st.integers(4, 12), intensities)
+def test_fault_injected_reports_identical(row, algorithm, seed, n, chaos):
+    """The full fault surface — crashes, outages, burst loss, duplication,
+    delay spikes — must be executed identically by both kernels."""
+    _assert_reports_identical(
+        TrialSpec(
+            "single", row, algorithm, seed, n,
+            faults=DEFAULT_CHAOS_PROFILE.scaled(chaos),
+            collect_counters=True, collect_delivery=True,
+        )
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(rows, algorithms_multi, seeds, st.integers(4, 8), intensities)
+def test_multi_variable_fault_reports_identical(row, algorithm, seed, n, chaos):
+    _assert_reports_identical(
+        TrialSpec(
+            "multi", row, algorithm, seed, n,
+            faults=DEFAULT_CHAOS_PROFILE.scaled(chaos),
+            collect_counters=True, collect_delivery=True,
+        )
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(rows, algorithms_single, seeds, st.integers(4, 12))
+def test_traces_bit_identical(row, algorithm, seed, n):
+    """Recorded traces must match line for line: the traced array path
+    replays the object kernel's exact event schedule, so even event
+    *ordering* within an instant is preserved."""
+    object_spec, array_spec = _both_kernels(
+        TrialSpec("single", row, algorithm, seed, n)
+    )
+    object_trace = record_trial(object_spec)
+    array_trace = record_trial(array_spec)
+    assert object_trace.event_lines() == array_trace.event_lines()
+    assert object_trace.metrics == array_trace.metrics
+
+
+@settings(max_examples=8, deadline=None)
+@given(rows, seeds, st.integers(4, 10), intensities)
+def test_fault_injected_traces_bit_identical(row, seed, n, chaos):
+    object_spec, array_spec = _both_kernels(
+        TrialSpec(
+            "single", row, "AD-4", seed, n,
+            faults=DEFAULT_CHAOS_PROFILE.scaled(chaos),
+        )
+    )
+    object_trace = record_trial(object_spec)
+    array_trace = record_trial(array_spec)
+    assert any(event.stage == "fault" for event in array_trace.events)
+    assert object_trace.event_lines() == array_trace.event_lines()
+    assert object_trace.metrics == array_trace.metrics

@@ -1,0 +1,204 @@
+"""Unit tests for the struct-of-arrays trial executor.
+
+The broad random equivalence argument lives in
+``tests/property/test_prop_kernel_differential.py``; here are the pinned
+edge cases that exercise specific arraykernel code paths — the inline
+AD-5 scan and its caller-supplied-algorithm bypass, the evaluator
+fallback for non-expression conditions, the adversarial phase-1 path
+(stateful loss chains, duplication), the condition compiler's cache, and
+the kernel-knob plumbing itself.
+"""
+
+import pytest
+
+from repro.components.system import SystemConfig, run_system
+from repro.core.condition import (
+    ExpressionCondition,
+    PredicateCondition,
+    c2,
+    c3,
+    cm,
+)
+from repro.core.expressions import H
+from repro.displayers.registry import make_ad
+from repro.faults.model import (
+    DuplicationAdversary,
+    GilbertElliottLoss,
+    GilbertElliottParams,
+)
+from repro.simulation.arraykernel import (
+    _CLOSURE_CACHE,
+    compile_condition,
+    run_system_array,
+)
+from repro.simulation.failures import CrashSchedule
+from repro.simulation.rng import RandomStreams
+from repro.workloads.generators import rising_runs, threshold_crossers
+
+_RUN_FIELDS = (
+    "sent", "sent_log", "received", "ce_alerts", "ad_arrivals",
+    "ad_arrival_times", "displayed", "filtered", "missed_while_down",
+    "dm_suppressed",
+)
+
+
+def _workload(seed: int, n: int = 20, variables: tuple[str, ...] = ("x",)):
+    streams = RandomStreams(seed)
+    generators = {"x": rising_runs, "y": threshold_crossers}
+    return {
+        var: generators[var](streams.stream(f"workload/{var}"), n)
+        for var in variables
+    }
+
+
+def _assert_kernels_agree(condition, workload, make_config, seed, **kwargs):
+    object_run = run_system(
+        condition, workload, make_config(), seed=seed, kernel="object",
+        **kwargs,
+    )
+    array_run = run_system(
+        condition, workload, make_config(), seed=seed, kernel="array",
+        **kwargs,
+    )
+    for field in _RUN_FIELDS:
+        assert getattr(object_run, field) == getattr(array_run, field), field
+    return object_run, array_run
+
+
+def test_unknown_kernel_is_rejected():
+    with pytest.raises(ValueError, match="unknown kernel"):
+        run_system(
+            c2(), _workload(0), SystemConfig(replication=1), kernel="turbo"
+        )
+
+
+def test_replication_one_and_three():
+    for replication in (1, 3):
+        _assert_kernels_agree(
+            c3(),
+            _workload(11),
+            lambda replication=replication: SystemConfig(
+                replication=replication, ad_algorithm="AD-4", front_loss=0.3
+            ),
+            seed=11,
+        )
+
+
+def test_caller_supplied_algorithm_bypasses_the_inline_scan():
+    """A caller-supplied AD instance has observable state (its output and
+    discard logs), so the array kernel must drive the *real* ``offer()``
+    even for algorithms it knows how to inline — and leave the two
+    instances in identical end states."""
+    condition = cm()
+    workload = _workload(5, n=10, variables=("x", "y"))
+    algorithms = []
+
+    def run_one(kernel):
+        algorithm = make_ad("AD-5", condition)
+        algorithms.append(algorithm)
+        return run_system(
+            condition, workload,
+            SystemConfig(replication=2, front_loss=0.3),
+            seed=5, algorithm=algorithm, kernel=kernel,
+        )
+
+    object_run, array_run = run_one("object"), run_one("array")
+    for field in _RUN_FIELDS:
+        assert getattr(object_run, field) == getattr(array_run, field), field
+    object_algorithm, array_algorithm = algorithms
+    assert object_algorithm.output == array_algorithm.output
+    assert object_algorithm.discarded == array_algorithm.discarded
+
+
+def test_predicate_condition_uses_the_evaluator_fallback():
+    """PredicateCondition cannot be compiled to a closure; the array
+    kernel must fall back to the real ConditionEvaluator (and, with
+    AD-5, to seqno recomputation instead of carried tuples)."""
+    condition = PredicateCondition(
+        "hot", {"x": 1}, lambda h: h["x"][0].value > 1050.0
+    )
+    assert compile_condition(condition) is None
+    _assert_kernels_agree(
+        condition,
+        _workload(7),
+        lambda: SystemConfig(
+            replication=2, ad_algorithm="AD-5", front_loss=0.3
+        ),
+        seed=7,
+    )
+
+
+def test_adversarial_faults_take_the_merged_path():
+    """Stateful Gilbert-Elliott loss shares one chain across links and
+    duplication reshapes delivery, forcing the non-batched phase-1 body;
+    CE and DM crash windows ride along."""
+    def make_config():
+        return SystemConfig(
+            replication=2,
+            ad_algorithm="AD-4",
+            front_loss_model=GilbertElliottLoss(
+                GilbertElliottParams(0.2, 0.4, 0.05, 0.7)
+            ),
+            front_duplication=DuplicationAdversary(
+                duplicate_prob=0.3, max_copies=2
+            ),
+            crash_schedules={0: CrashSchedule(windows=((30.0, 80.0),))},
+            dm_crash_schedules={"x": CrashSchedule(windows=((90.0, 120.0),))},
+        )
+
+    _assert_kernels_agree(c2(), _workload(13), make_config, seed=13)
+
+
+def test_compile_condition_caches_by_cache_key():
+    condition = ExpressionCondition(
+        "risen", (H.x[0].value - H.x[-1].value > 120.0), conservative=True
+    )
+    closure = compile_condition(condition)
+    assert closure is not None
+    assert _CLOSURE_CACHE[condition.cache_key()] is closure
+    # A value-equal condition object reuses the cached closure.
+    twin = ExpressionCondition(
+        "risen", (H.x[0].value - H.x[-1].value > 120.0), conservative=True
+    )
+    assert compile_condition(twin) is closure
+
+
+def test_compiled_closure_matches_condition_evaluate():
+    condition = ExpressionCondition(
+        "risen", (H.x[0].value - H.x[-1].value > 120.0), conservative=True
+    )
+    closure = compile_condition(condition)
+    run = run_system_array(
+        condition,
+        _workload(3),
+        SystemConfig(replication=1, front_loss=0.3),
+        seed=3,
+    )
+    # Replay every CE decision through the closure on the received
+    # history suffixes: each generated alert corresponds to a True.
+    assert run.ce_alerts  # the workload must actually trigger alerts
+    for stream, alerts in zip(run.received, run.ce_alerts):
+        fired = 0
+        history: list = []
+        for update in stream:
+            history.insert(0, update)
+            if len(history) >= 2 and closure(history[:2]):
+                fired += 1
+        assert fired == len(alerts)
+
+
+def test_old_trace_headers_without_kernel_field_still_replay():
+    """Traces recorded before the kernel knob existed have no ``kernel``
+    key in their header; they must deserialize (to the array default)
+    and replay bit-identically."""
+    from repro.engine.spec import TrialSpec
+    from repro.observability import record_trial, replay_trace
+
+    trace = record_trial(TrialSpec("single", "conservative", "AD-3", 9, 8))
+    stripped_spec = dict(trace.spec)
+    assert stripped_spec.pop("kernel") == "array"
+    legacy_trace = type(trace)(
+        spec=stripped_spec, events=trace.events, metrics=trace.metrics
+    )
+    result = replay_trace(legacy_trace)
+    assert result.identical, result.describe()

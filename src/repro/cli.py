@@ -280,6 +280,8 @@ def _cmd_availability(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.churn:
+        return _cmd_chaos_churn(args)
     from repro.engine import TrialEngine, resolve_processes
     from repro.faults import (
         chaos_sweep,
@@ -324,6 +326,41 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if shape_ok else 1
 
 
+def _cmd_chaos_churn(args: argparse.Namespace) -> int:
+    from repro.engine import TrialEngine, resolve_processes
+    from repro.faults import (
+        churn_sweep,
+        recovery_restores_alerts,
+        render_churn_table,
+    )
+
+    intensities = [i for i in args.intensities if i > 0] or [1.0]
+    kwargs = dict(
+        intensities=intensities,
+        detection_timeouts=[None, *args.detection_timeouts],
+        catchup_latencies=args.catchup_latencies,
+        trials=args.trials,
+        row=args.row,
+        algorithm=args.algorithm,
+        n_updates=args.updates,
+        replication=max(args.replications),
+        kernel=args.kernel,
+        catchup_source=args.catchup_source,
+    )
+    if resolve_processes(args.processes) > 1:
+        with TrialEngine(processes=args.processes) as engine:
+            cells = churn_sweep(engine=engine, **kwargs)
+    else:
+        cells = churn_sweep(**kwargs)
+    print(render_churn_table(cells))
+    restored = recovery_restores_alerts(cells)
+    print(
+        "detection + catch-up reduces missed alerts vs crash-only: "
+        f"{'YES' if restored else 'NO'}"
+    )
+    return 0 if restored else 1
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.compare import compare_run
 
@@ -363,9 +400,19 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
         faults = DEFAULT_CHAOS_PROFILE.scaled(args.chaos)
         if faults.is_clean:
             faults = None
+    membership = None
+    if args.membership:
+        from repro.membership import MembershipConfig
+
+        membership = MembershipConfig(
+            detection_timeout=args.detection_timeout,
+            catchup_latency=args.catchup_latency,
+            catchup_source=args.catchup_source,
+        )
     spec = TrialSpec(
         matrix, args.row, args.algorithm, args.seed, args.updates,
         args.replication, faults=faults, kernel=args.kernel,
+        membership=membership,
     )
     trace = record_trial(spec)
     out = args.out or (
@@ -520,6 +567,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults at this chaos intensity (default profile), so "
         "witness seeds from 'repro chaos' replay exactly",
     )
+    p_trec.add_argument(
+        "--membership",
+        action="store_true",
+        help="enable dynamic membership (heartbeat detection + crash "
+        "recovery with catch-up); the trace carries the full "
+        "membership surface and replays bit-identically",
+    )
+    p_trec.add_argument(
+        "--detection-timeout", type=float, default=4.0,
+        help="(--membership) failure-detector timeout",
+    )
+    p_trec.add_argument(
+        "--catchup-latency", type=float, default=2.0,
+        help="(--membership) state-transfer latency per recovery",
+    )
+    p_trec.add_argument(
+        "--catchup-source",
+        choices=("peer-then-log", "peer", "log", "none"),
+        default="peer-then-log",
+        help="(--membership) where a recovering CE replays history from",
+    )
     p_trec.set_defaults(func=_cmd_trace_record)
     p_trep = trace_sub.add_parser(
         "replay",
@@ -642,6 +710,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=_processes_arg,
         default=1,
         help="fan trials out over N worker processes ('auto' = CPU count)",
+    )
+    p_chaos.add_argument(
+        "--churn",
+        action="store_true",
+        help="membership mode: sweep intensity x detection timeout x "
+        "catch-up latency under the CE-crash-only churn profile, "
+        "reporting what detection + catch-up buys back vs the "
+        "crash-without-recovery baseline",
+    )
+    p_chaos.add_argument(
+        "--detection-timeouts",
+        type=float,
+        nargs="+",
+        default=[2.0, 6.0],
+        help="(--churn) failure-detector timeouts; the membership-off "
+        "baseline is always swept alongside",
+    )
+    p_chaos.add_argument(
+        "--catchup-latencies",
+        type=float,
+        nargs="+",
+        default=[2.0],
+        help="(--churn) state-transfer latencies per recovery",
+    )
+    p_chaos.add_argument(
+        "--catchup-source",
+        choices=("peer-then-log", "peer", "log", "none"),
+        default="peer-then-log",
+        help="(--churn) where a recovering CE replays history from",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
 

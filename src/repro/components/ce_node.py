@@ -6,6 +6,28 @@ back link to the AD.  A crash schedule can take the node down for
 intervals of simulated time; updates delivered while down are *missed
 permanently* (front links are datagrams — no retransmission), which is
 precisely the failure replication is meant to mask.
+
+With dynamic membership enabled (see :mod:`repro.membership`) a crash is
+no longer the end of the story.  The CE keeps a per-variable seqno
+high-water vector — its vector clock over the DM broadcast streams —
+and walks a small state machine:
+
+* **up**: updates must advance the clock (``seqno > high_water[var]``);
+  an in-flight datagram that arrives late, after catch-up already
+  replayed its contents, is dropped as stale instead of corrupting the
+  history buffers with an out-of-order entry.
+* **recovering** (between ``rejoin`` and ``catchup-complete``): live
+  arrivals are buffered, not evaluated — the node's history still has a
+  hole, so evaluating against it would raise alerts from a gapped H.
+* **catch-up**: the snapshot from the source (live peer or DM log) is
+  replayed through the normal evaluation path, clock-filtered so only
+  genuinely missed updates are ingested; buffered live arrivals follow,
+  same filter.  Alerts raised during replay leave over the ordinary
+  back link — late, but ordered.
+
+A recovery that aborts (the node re-crashes mid-transfer) leaves the
+node in ``recovering``; its buffer is flushed to ``missed_while_down``
+at the next rejoin or at end of run.
 """
 
 from __future__ import annotations
@@ -37,11 +59,23 @@ class CENode(Node):
         self.crash_schedule = crash_schedule or CrashSchedule.never()
         self.back_link: Link | None = None
         self.missed_while_down = 0
+        # -- membership runtime state (inert until enable_membership) --
+        self.membership_enabled = False
+        self.recovering = False
+        self.recovery_buffer: list[Update] = []
+        #: Per-variable seqno high-water marks: the CE's vector clock
+        #: over the DM streams, deciding which updates catch-up owes it.
+        self.high_water: dict[str, int] = {}
+        self.caught_up = 0
 
     # -- wiring --------------------------------------------------------------
     def connect_ad(self, link: Link) -> None:
         """Attach the back link carrying alerts to the AD."""
         self.back_link = link
+
+    def enable_membership(self) -> None:
+        """Turn on the recovery state machine (clock tracking included)."""
+        self.membership_enabled = True
 
     # -- inspection ------------------------------------------------------------
     @property
@@ -71,17 +105,114 @@ class CENode(Node):
                     msg=str(message), reason="crashed",
                 )
             return
+        if self.membership_enabled:
+            if self.recovering:
+                self.recovery_buffer.append(message)
+                if tracer is not None:
+                    tracer.emit(
+                        self.kernel.now, "membership", "buffered", self.name,
+                        msg=str(message), reason="recovering",
+                    )
+                return
+            if message.seqno <= self.high_water.get(message.varname, 0):
+                if tracer is not None:
+                    tracer.emit(
+                        self.kernel.now, "membership", "stale-drop", self.name,
+                        msg=str(message),
+                    )
+                return
+            self.high_water[message.varname] = message.seqno
         if tracer is not None:
             tracer.emit(
                 self.kernel.now, "ce", "update-received", self.name,
                 msg=str(message),
             )
-        alert = self.evaluator.ingest(message)
+        self._evaluate(message)
+
+    def _evaluate(self, update: Update) -> None:
+        """Ingest one update and ship any resulting alert to the AD."""
+        alert = self.evaluator.ingest(update)
         if alert is not None:
-            if tracer is not None:
-                tracer.emit(
+            if self.kernel.tracer is not None:
+                self.kernel.tracer.emit(
                     self.kernel.now, "ce", "alert-raised", self.name,
                     alert=str(alert),
                 )
             if self.back_link is not None:
                 self.back_link.send(alert)
+
+    # -- membership lifecycle -----------------------------------------------
+    def rejoin(self, event) -> None:
+        """The node is back up; start recovering (or just restart).
+
+        Any updates still buffered from an *aborted* previous recovery
+        died with the crash — they count as missed.  ``event`` is the
+        planned :class:`~repro.membership.registry.RecoveryEvent`; with
+        source ``"none"`` the node restarts without catch-up and resumes
+        evaluating over its gapped history immediately.
+        """
+        tracer = self.kernel.tracer
+        if self.recovery_buffer:
+            self.missed_while_down += len(self.recovery_buffer)
+            self.recovery_buffer.clear()
+        self.recovering = event.source != "none"
+        if tracer is not None:
+            tracer.emit(
+                self.kernel.now, "membership", "rejoin", self.name,
+                source=event.source, attempts=event.attempts,
+                aborted=event.aborted,
+            )
+
+    def complete_recovery(self, event, knowledge) -> None:
+        """Replay the source's knowledge, clock-filtered, then the buffer.
+
+        ``knowledge`` is the snapshot taken at this instant: the peer's
+        received stream in arrival order, or the merged DM log in
+        (time, varname) order.  Only updates past the high-water vector
+        are ingested, so nothing already incorporated is double-fed.
+        """
+        tracer = self.kernel.tracer
+        now = self.kernel.now
+        self.recovering = False
+        high_water = self.high_water
+        recovered = replayed = stale = 0
+        for update in knowledge:
+            if update.seqno <= high_water.get(update.varname, 0):
+                continue
+            high_water[update.varname] = update.seqno
+            if tracer is not None:
+                tracer.emit(
+                    now, "membership", "catchup-ingest", self.name,
+                    msg=str(update), source=event.source,
+                )
+            recovered += 1
+            self._evaluate(update)
+        for update in self.recovery_buffer:
+            if update.seqno <= high_water.get(update.varname, 0):
+                stale += 1
+                continue
+            high_water[update.varname] = update.seqno
+            if tracer is not None:
+                tracer.emit(
+                    now, "membership", "replay-buffered", self.name,
+                    msg=str(update),
+                )
+            replayed += 1
+            self._evaluate(update)
+        self.recovery_buffer.clear()
+        self.caught_up += recovered
+        if tracer is not None:
+            tracer.emit(
+                now, "membership", "catchup-complete", self.name,
+                source=event.source, recovered=recovered,
+                replayed=replayed, stale=stale,
+                clock={var: high_water[var] for var in sorted(high_water)},
+            )
+
+    def flush_recovery_buffer(self) -> None:
+        """End-of-run cleanup: a still-recovering node never evaluated
+        its buffered arrivals, so they count as missed."""
+        if self.recovery_buffer:
+            self.missed_while_down += len(self.recovery_buffer)
+            self.recovery_buffer.clear()
+        self.recovering = False

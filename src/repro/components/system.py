@@ -24,6 +24,13 @@ from repro.core.condition import Condition
 from repro.core.update import Update
 from repro.displayers.base import ADAlgorithm
 from repro.displayers.registry import make_ad
+from repro.membership.config import MembershipConfig
+from repro.membership.registry import (
+    MembershipPlan,
+    emit_membership_surface,
+    membership_horizon,
+    plan_membership,
+)
 from repro.props.report import PropertyReport, evaluate_run
 from repro.simulation.failures import CrashSchedule
 from repro.simulation.kernel import Kernel
@@ -88,6 +95,11 @@ class SystemConfig:
     #: Optional congestion (delay-spike) schedules for front/back links.
     front_delay_spikes: object | None = None
     back_delay_spikes: object | None = None
+    #: Optional dynamic-membership config (see :mod:`repro.membership`).
+    #: When set, CE crashes stop being permanent silences: the run plans
+    #: a detect → suspect → rejoin → catch-up lifecycle from the crash
+    #: schedules and executes it deterministically on both kernels.
+    membership: MembershipConfig | None = None
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -129,6 +141,11 @@ class RunResult:
     #: Readings never taken because the DM was down, per variable in
     #: sorted-variable order (empty when no DM crash schedules are set).
     dm_suppressed: tuple[int, ...] = ()
+    #: Updates each CE re-acquired via membership catch-up, per CE
+    #: (empty when membership is off).
+    caught_up: tuple[int, ...] = ()
+    #: The executed membership plan (None when membership is off).
+    membership: MembershipPlan | None = None
 
     def evaluate_properties(self, interleaving_limit: int | None = None) -> PropertyReport:
         """Decide orderedness/completeness/consistency for this run."""
@@ -230,8 +247,25 @@ class MonitoringSystem:
                 )
                 dm.attach(front)
             self.dms.append(dm)
+
+        self.membership_plan: MembershipPlan | None = None
+        if config.membership is not None:
+            self.membership_plan = plan_membership(
+                config.crash_schedules,
+                config.ad_crash_schedule,
+                config.replication,
+                config.membership,
+                membership_horizon(workload),
+            )
+            for ce in self.ces:
+                ce.enable_membership()
+
         if tracer is not None:
             self._emit_fault_surface()
+            if self.membership_plan is not None:
+                emit_membership_surface(
+                    self.kernel.tracer.emit, self.membership_plan
+                )
 
     def _emit_fault_surface(self) -> None:
         """Record the run's planned fault surface as structured events.
@@ -280,11 +314,60 @@ class MonitoringSystem:
                     emit(0.0, "fault", "delay-spike-window", side,
                          start=start, end=end, factor=spikes.factor)
 
+    def _schedule_membership_events(self) -> None:
+        """Schedule every planned rejoin/catch-up *before* any reading.
+
+        Membership events therefore take the globally lowest schedule
+        seqs, so at equal simulated time a rejoin or catch-up fires
+        before any reading or delivery — the invariant the catch-up
+        knowledge snapshot relies on, and what the array kernel's traced
+        path replicates seq for seq.  With membership off nothing is
+        scheduled and every existing trace stays bit-identical.
+        """
+        for event in self.membership_plan.recoveries:
+            ce = self.ces[event.ce_index]
+            self.kernel.schedule_at(
+                event.rejoin_time,
+                lambda ce=ce, event=event: ce.rejoin(event),
+                note=f"{ce.name} rejoin",
+            )
+            if event.complete_time is not None:
+                self.kernel.schedule_at(
+                    event.complete_time,
+                    lambda ce=ce, event=event: self._complete_recovery(ce, event),
+                    note=f"{ce.name} catch-up",
+                )
+
+    def _complete_recovery(self, ce: CENode, event) -> None:
+        """Snapshot the catch-up source's knowledge at fire time and
+        replay it into the recovering CE."""
+        now = self.kernel.now
+        if event.source == "log":
+            entries = sorted(
+                (
+                    entry
+                    for dm in self.dms
+                    for entry in dm.sent_log
+                    if entry[0] < now
+                ),
+                key=lambda pair: (pair[0], pair[1].varname),
+            )
+            knowledge = [update for _time, update in entries]
+        else:
+            peer_index = int(event.source.rsplit(":CE", 1)[1]) - 1
+            knowledge = list(self.ces[peer_index].received)
+        ce.complete_recovery(event, knowledge)
+
     def run(self) -> RunResult:
         """Execute the workload to quiescence and collect the results."""
+        if self.membership_plan is not None:
+            self._schedule_membership_events()
         for dm in self.dms:
             dm.start()
         self.kernel.run()
+        if self.membership_plan is not None:
+            for ce in self.ces:
+                ce.flush_recovery_buffer()
         return RunResult(
             condition=self.condition,
             config=self.config,
@@ -304,6 +387,12 @@ class MonitoringSystem:
             filtered=self.ad.filtered,
             missed_while_down=tuple(ce.missed_while_down for ce in self.ces),
             dm_suppressed=tuple(dm.suppressed for dm in self.dms),
+            caught_up=(
+                tuple(ce.caught_up for ce in self.ces)
+                if self.membership_plan is not None
+                else ()
+            ),
+            membership=self.membership_plan,
         )
 
 

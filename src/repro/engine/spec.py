@@ -24,6 +24,7 @@ from repro.workloads.scenarios import (
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultProfile
+    from repro.membership.config import MembershipConfig
 
 __all__ = ["TrialSpec", "SCENARIO_MATRICES"]
 
@@ -68,12 +69,23 @@ class TrialSpec:
     #: result- and trace-identical, so this knob only affects speed —
     #: and old serialized specs without the field deserialize to "array".
     kernel: str = "array"
+    #: Optional dynamic-membership config (see :mod:`repro.membership`):
+    #: crashes become a detect → rejoin → catch-up lifecycle, and the
+    #: report carries the run's churn digest (``PropertyReport.churn``).
+    #: Dicts (from trace headers) are coerced like ``faults``.
+    membership: "MembershipConfig | None" = None
 
     def __post_init__(self) -> None:
         if isinstance(self.faults, dict):
             from repro.faults.plan import FaultProfile
 
             object.__setattr__(self, "faults", FaultProfile(**self.faults))
+        if isinstance(self.membership, dict):
+            from repro.membership.config import MembershipConfig
+
+            object.__setattr__(
+                self, "membership", MembershipConfig(**self.membership)
+            )
 
     def resolve_scenario(self) -> Scenario:
         scenario = SCENARIO_MATRICES[self.matrix][self.row]
@@ -101,10 +113,15 @@ class TrialSpec:
             tracer=tracer,
             faults=self.faults,
             kernel=self.kernel,
+            membership=self.membership,
         )
         report = run.evaluate_properties()
         if tracer is not None:
             report = replace(report, counters=tracer.as_dict())
+        if run.membership is not None:
+            from repro.membership.verdicts import churn_summary
+
+            report = replace(report, churn=churn_summary(run))
         if self.collect_delivery:
             from repro.analysis.metrics import delivery_stats
 

@@ -21,9 +21,14 @@ survival rates plus minimal violating seeds (the ``repro chaos`` CLI).
 
 from repro.faults.chaos import (
     ChaosCell,
+    ChurnCell,
     chaos_specs,
     chaos_sweep,
+    churn_specs,
+    churn_sweep,
+    recovery_restores_alerts,
     render_chaos_table,
+    render_churn_table,
     replication_reduces_misses,
 )
 from repro.faults.model import (
@@ -34,6 +39,7 @@ from repro.faults.model import (
 )
 from repro.faults.plan import (
     DEFAULT_CHAOS_PROFILE,
+    DEFAULT_CHURN_PROFILE,
     PROFILE_FIELD_KINDS,
     FaultPlan,
     FaultProfile,
@@ -42,7 +48,9 @@ from repro.faults.plan import (
 
 __all__ = [
     "ChaosCell",
+    "ChurnCell",
     "DEFAULT_CHAOS_PROFILE",
+    "DEFAULT_CHURN_PROFILE",
     "PROFILE_FIELD_KINDS",
     "profile_field_identity",
     "DelaySpikeSchedule",
@@ -53,6 +61,10 @@ __all__ = [
     "GilbertElliottParams",
     "chaos_specs",
     "chaos_sweep",
+    "churn_specs",
+    "churn_sweep",
+    "recovery_restores_alerts",
     "render_chaos_table",
+    "render_churn_table",
     "replication_reduces_misses",
 ]

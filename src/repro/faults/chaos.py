@@ -24,15 +24,24 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.engine.spec import TrialSpec
-from repro.faults.plan import DEFAULT_CHAOS_PROFILE, FaultProfile
+from repro.faults.plan import (
+    DEFAULT_CHAOS_PROFILE,
+    DEFAULT_CHURN_PROFILE,
+    FaultProfile,
+)
 from repro.props.report import PropertyReport
 
 __all__ = [
     "ChaosCell",
+    "ChurnCell",
     "chaos_specs",
     "chaos_sweep",
+    "churn_specs",
+    "churn_sweep",
+    "recovery_restores_alerts",
     "replication_reduces_misses",
     "render_chaos_table",
+    "render_churn_table",
 ]
 
 #: Default base seed for chaos sweeps (distinct from the table grids').
@@ -214,6 +223,270 @@ def replication_reduces_misses(
             if best.mean_miss_fraction < base.mean_miss_fraction:
                 helped = True
     return helped or not needs_help
+
+
+@dataclass(frozen=True)
+class ChurnCell:
+    """Folded results of one churn sweep point.
+
+    ``detection_timeout is None`` marks the crash-without-recovery
+    baseline (membership off) the other cells of the same intensity are
+    judged against.
+    """
+
+    intensity: float
+    detection_timeout: float | None
+    catchup_latency: float
+    trials: int
+    survival: dict[str, float | None]
+    witness_seeds: dict[str, int]
+    mean_miss_fraction: float
+    any_miss_fraction: float
+    #: Fraction of trials that spent any time below quorum.
+    degraded_runs: float
+    #: Mean fraction of the horizon spent below quorum.
+    degraded_fraction: float
+    #: Property violations split by churn context (run-level).
+    violations_degraded: int
+    violations_steady: int
+    #: Updates re-acquired via catch-up, summed over the cell's trials.
+    caught_up: int
+    mean_detection_latency: float | None
+    mean_time_to_recover: float | None
+
+
+def churn_specs(
+    intensity: float,
+    detection_timeout: float | None,
+    catchup_latency: float,
+    trials: int,
+    row: str = "aggressive",
+    matrix: str = "single",
+    algorithm: str = "pass",
+    n_updates: int = 14,
+    replication: int = 2,
+    base_seed: int = CHAOS_BASE_SEED,
+    profile: FaultProfile = DEFAULT_CHURN_PROFILE,
+    kernel: str = "array",
+    catchup_source: str = "peer-then-log",
+) -> list[TrialSpec]:
+    """The trial specs of one churn sweep cell, in ascending-seed order.
+
+    The cell key — and therefore the seed block — deliberately excludes
+    the membership knobs: every (detection_timeout, catchup_latency)
+    point at one intensity runs the *same* seeds over the same
+    materialized crash schedules, so differences between cells are pure
+    recovery-policy effects, never sampling noise.  Front loss is forced
+    to zero so crashes are the only divergence source.
+    """
+    from repro.membership.config import MembershipConfig
+
+    cell = f"churn/{matrix}/{row}/{algorithm}/{replication}/{intensity:g}"
+    offset = zlib.crc32(cell.encode()) % 100_000
+    faults = profile.scaled(intensity)
+    if faults.is_clean:
+        faults = None
+    membership = None
+    if detection_timeout is not None:
+        membership = MembershipConfig(
+            detection_timeout=detection_timeout,
+            catchup_latency=catchup_latency,
+            catchup_source=catchup_source,
+        )
+    return [
+        TrialSpec(
+            matrix,
+            row,
+            algorithm,
+            base_seed + offset + trial,
+            n_updates,
+            replication=replication,
+            front_loss=0.0,
+            faults=faults,
+            collect_delivery=True,
+            kernel=kernel,
+            membership=membership,
+        )
+        for trial in range(trials)
+    ]
+
+
+def _fold_churn_cell(
+    intensity: float,
+    detection_timeout: float | None,
+    catchup_latency: float,
+    specs: Sequence[TrialSpec],
+    reports: Sequence[PropertyReport],
+) -> ChurnCell:
+    base = _fold_cell(intensity, 0, specs, reports)
+    degraded_runs = 0
+    degraded_fraction = 0.0
+    violations_degraded = 0
+    violations_steady = 0
+    caught_up = 0
+    detection_latencies: list[float] = []
+    recovery_latencies: list[float] = []
+    for report in reports:
+        churn = report.churn
+        violated = sum(
+            1 for verdict in report.summary.values() if verdict is False
+        )
+        if churn is None:
+            violations_steady += violated
+            continue
+        if churn["below_quorum"]:
+            degraded_runs += 1
+            violations_degraded += violated
+        else:
+            violations_steady += violated
+        degraded_fraction += churn["degraded_fraction"]
+        caught_up += churn["caught_up"]
+        if churn["mean_detection_latency"] is not None:
+            detection_latencies.append(churn["mean_detection_latency"])
+        if churn["mean_time_to_recover"] is not None:
+            recovery_latencies.append(churn["mean_time_to_recover"])
+    trials = len(specs)
+    return ChurnCell(
+        intensity=intensity,
+        detection_timeout=detection_timeout,
+        catchup_latency=catchup_latency,
+        trials=trials,
+        survival=base.survival,
+        witness_seeds=base.witness_seeds,
+        mean_miss_fraction=base.mean_miss_fraction,
+        any_miss_fraction=base.any_miss_fraction,
+        degraded_runs=degraded_runs / trials if trials else 0.0,
+        degraded_fraction=degraded_fraction / trials if trials else 0.0,
+        violations_degraded=violations_degraded,
+        violations_steady=violations_steady,
+        caught_up=caught_up,
+        mean_detection_latency=(
+            sum(detection_latencies) / len(detection_latencies)
+            if detection_latencies
+            else None
+        ),
+        mean_time_to_recover=(
+            sum(recovery_latencies) / len(recovery_latencies)
+            if recovery_latencies
+            else None
+        ),
+    )
+
+
+def churn_sweep(
+    intensities: Sequence[float] = (0.5, 1.0, 2.0),
+    detection_timeouts: Sequence[float | None] = (None, 2.0, 6.0),
+    catchup_latencies: Sequence[float] = (2.0,),
+    trials: int = 20,
+    row: str = "aggressive",
+    matrix: str = "single",
+    algorithm: str = "pass",
+    n_updates: int = 14,
+    replication: int = 2,
+    base_seed: int = CHAOS_BASE_SEED,
+    profile: FaultProfile = DEFAULT_CHURN_PROFILE,
+    engine=None,
+    kernel: str = "array",
+    catchup_source: str = "peer-then-log",
+) -> list[ChurnCell]:
+    """Sweep fault intensity × detection timeout × catch-up latency.
+
+    A ``None`` detection timeout is the crash-without-recovery baseline;
+    it runs once per intensity (catch-up latency is meaningless without
+    recovery) on the same seeds as the membership cells, so the sweep
+    directly reports what detection + catch-up buys back.
+    """
+    cells: list[ChurnCell] = []
+    for intensity in intensities:
+        for timeout in detection_timeouts:
+            latencies = catchup_latencies if timeout is not None else (
+                catchup_latencies[0],
+            )
+            for latency in latencies:
+                specs = churn_specs(
+                    intensity,
+                    timeout,
+                    latency,
+                    trials,
+                    row=row,
+                    matrix=matrix,
+                    algorithm=algorithm,
+                    n_updates=n_updates,
+                    replication=replication,
+                    base_seed=base_seed,
+                    profile=profile,
+                    kernel=kernel,
+                    catchup_source=catchup_source,
+                )
+                if engine is not None:
+                    reports = engine.run(specs)
+                else:
+                    reports = [spec.execute() for spec in specs]
+                cells.append(
+                    _fold_churn_cell(intensity, timeout, latency, specs, reports)
+                )
+    return cells
+
+
+def recovery_restores_alerts(
+    cells: Sequence[ChurnCell], tolerance: float = 0.02
+) -> bool:
+    """The membership claim over a churn sweep: at every intensity whose
+    baseline (membership off) misses alerts, the best recovery cell
+    strictly reduces the missed-alert fraction, and no recovery cell is
+    worse than the baseline by more than ``tolerance``."""
+    by_intensity: dict[float, list[ChurnCell]] = {}
+    for cell in cells:
+        by_intensity.setdefault(cell.intensity, []).append(cell)
+    helped = False
+    needs_help = False
+    for _intensity, group in by_intensity.items():
+        baselines = [c for c in group if c.detection_timeout is None]
+        recovered = [c for c in group if c.detection_timeout is not None]
+        if not baselines or not recovered:
+            continue
+        baseline = baselines[0]
+        for cell in recovered:
+            if cell.mean_miss_fraction > baseline.mean_miss_fraction + tolerance:
+                return False
+        if baseline.mean_miss_fraction > tolerance:
+            needs_help = True
+            best = min(recovered, key=lambda c: c.mean_miss_fraction)
+            if best.mean_miss_fraction < baseline.mean_miss_fraction:
+                helped = True
+    return helped or not needs_help
+
+
+def render_churn_table(cells: Sequence[ChurnCell]) -> str:
+    """Fixed-width text table of a churn sweep, one line per cell."""
+
+    def rate(value: float | None) -> str:
+        return "   n/a" if value is None else f"{value:>6.2f}"
+
+    lines = [
+        f"{'chaos':>6} {'detect':>7} {'catchup':>8} {'ordered':>8} "
+        f"{'complete':>9} {'consistent':>11} {'mean miss':>10} "
+        f"{'viol-deg':>9} {'viol-std':>9} {'caught-up':>10} {'mttr':>7}"
+    ]
+    for cell in cells:
+        detect = (
+            "    off" if cell.detection_timeout is None
+            else f"{cell.detection_timeout:>7g}"
+        )
+        mttr = (
+            "    -" if cell.mean_time_to_recover is None
+            else f"{cell.mean_time_to_recover:>7.2f}"
+        )
+        lines.append(
+            f"{cell.intensity:>6g} {detect} {cell.catchup_latency:>8g} "
+            f"{rate(cell.survival['ordered']):>8} "
+            f"{rate(cell.survival['complete']):>9} "
+            f"{rate(cell.survival['consistent']):>11} "
+            f"{cell.mean_miss_fraction:>10.3f} "
+            f"{cell.violations_degraded:>9} {cell.violations_steady:>9} "
+            f"{cell.caught_up:>10} {mttr}"
+        )
+    return "\n".join(lines)
 
 
 def render_chaos_table(cells: Sequence[ChaosCell]) -> str:

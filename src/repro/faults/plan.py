@@ -43,6 +43,7 @@ __all__ = [
     "FaultPlan",
     "FaultProfile",
     "DEFAULT_CHAOS_PROFILE",
+    "DEFAULT_CHURN_PROFILE",
     "PROFILE_FIELD_KINDS",
     "profile_field_identity",
 ]
@@ -532,5 +533,20 @@ class FaultProfile:
         )
 
 
+    @classmethod
+    def churn_default(cls) -> "FaultProfile":
+        """The reference *churn* profile for membership sweeps.
+
+        CE crashes only, frequent and short — the fault class dynamic
+        membership heals — so the detection-timeout × catch-up-latency
+        dimensions of a churn sweep are not confounded by link loss or
+        AD downtime.
+        """
+        return cls(ce_crash_rate=0.02, ce_mean_repair=25.0)
+
+
 #: The profile ``repro chaos`` and ``repro trace record --chaos`` scale.
 DEFAULT_CHAOS_PROFILE = FaultProfile.chaos_default()
+
+#: The CE-crash-only profile churn sweeps scale (``repro chaos --churn``).
+DEFAULT_CHURN_PROFILE = FaultProfile.churn_default()

@@ -23,8 +23,13 @@ from random import Random
 from repro.engine.spec import TrialSpec
 from repro.faults.plan import (
     DEFAULT_CHAOS_PROFILE,
+    DEFAULT_CHURN_PROFILE,
     PROFILE_FIELD_KINDS,
     FaultProfile,
+)
+from repro.membership.config import (
+    MEMBERSHIP_FIELD_KINDS,
+    MembershipConfig,
 )
 
 __all__ = ["MutationLimits", "mutate_spec"]
@@ -45,6 +50,17 @@ _LOSS_TEMPLATES = (None, 0.0, 0.1, 0.3, 0.5, 0.7)
 
 #: Chaos intensities for whole-profile transplants.
 _CHAOS_INTENSITIES = (0.25, 0.5, 1.0, 2.0)
+
+#: Value templates per membership-field kind (see
+#: :data:`~repro.membership.config.MEMBERSHIP_FIELD_KINDS`).  Means cover
+#: detection timeouts and catch-up/backoff latencies from instant to
+#: longer than a crash repair; intervals straddle the reading cadence.
+_MEMBERSHIP_TEMPLATES: dict[str, tuple] = {
+    "interval": (1.0, 2.5, 5.0, 10.0, 20.0),
+    "mean": (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+    "count": (1, 2, 3),
+    "choice": ("peer-then-log", "peer", "log", "none"),
+}
 
 
 class MutationLimits:
@@ -105,6 +121,30 @@ def _drop_faults(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
     return replace(spec, faults=None)
 
 
+def _mutate_membership_field(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    """Turn one membership knob (detection timeout, heartbeat cadence,
+    suspicion threshold, catch-up latency/backoff/source)."""
+    name = rng.choice(sorted(MEMBERSHIP_FIELD_KINDS))
+    config = spec.membership if spec.membership is not None else MembershipConfig()
+    templates = _MEMBERSHIP_TEMPLATES[MEMBERSHIP_FIELD_KINDS[name]]
+    return replace(spec, membership=config.with_value(name, rng.choice(templates)))
+
+
+def _toggle_membership(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    """Flip the recovery lifecycle on or off for the same fault surface."""
+    if spec.membership is not None:
+        return replace(spec, membership=None)
+    return replace(spec, membership=MembershipConfig())
+
+
+def _transplant_churn(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    """Jump to a join/leave/recover regime: CE-crash-heavy faults plus a
+    fresh default membership config, so detection and catch-up actually
+    have crashes to heal."""
+    profile = DEFAULT_CHURN_PROFILE.scaled(rng.choice(_CHAOS_INTENSITIES))
+    return replace(spec, faults=profile, membership=MembershipConfig())
+
+
 #: (mutation, weight) — seed moves dominate (they are the cheapest way
 #: to re-roll timing), fault-surface edits follow, structural knobs are
 #: rarer.
@@ -113,10 +153,13 @@ _CATALOG = (
     (_nudge_seed, 4),
     (_mutate_fault_field, 4),
     (_mutate_updates, 3),
+    (_mutate_membership_field, 3),
     (_mutate_loss, 2),
     (_transplant_chaos, 1),
+    (_transplant_churn, 1),
     (_mutate_replication, 1),
     (_drop_faults, 1),
+    (_toggle_membership, 1),
 )
 _MUTATIONS = tuple(m for m, w in _CATALOG for _ in range(w))
 

@@ -15,6 +15,9 @@ violated.  The reduction catalog:
   (:func:`~repro.faults.plan.profile_field_identity` — crash rates and
   loss probabilities to 0, the delay-spike factor to 1, ...), or halve
   its distance from that value,
+* drop the membership config entirely (back to static membership), or
+  snap one membership knob to its default
+  (:func:`~repro.membership.config.membership_field_default`),
 
 with a binary-descent accelerator on ``n_updates`` before the greedy
 passes.  The result is **1-minimal over the catalog**: no single
@@ -40,6 +43,10 @@ from repro.faults.plan import (
     PROFILE_FIELD_KINDS,
     FaultProfile,
     profile_field_identity,
+)
+from repro.membership.config import (
+    MEMBERSHIP_FIELD_KINDS,
+    membership_field_default,
 )
 from repro.observability.replay import RecordedTrace, record_trial
 from repro.workloads.scenarios import run_scenario
@@ -74,7 +81,8 @@ class ShrinkResult:
             f"seed={spec.seed} n_updates={spec.n_updates} "
             f"replication={spec.replication}"
             + ("" if spec.front_loss is None else f" front_loss={spec.front_loss:g}")
-            + ("" if spec.faults is None else " (faults attached)"),
+            + ("" if spec.faults is None else " (faults attached)")
+            + ("" if spec.membership is None else " (membership attached)"),
             f"({self.attempts} shrink runs, {self.passes} passes)",
             self.counterexample.describe(),
         ]
@@ -120,6 +128,25 @@ def _profile_steps(spec: TrialSpec) -> Iterator[TrialSpec]:
         )
 
 
+def _membership_steps(spec: TrialSpec) -> Iterator[TrialSpec]:
+    """Drop the recovery lifecycle, or snap one knob back to default.
+
+    Dropping first asks the cheapest question — "does the violation need
+    membership at all?" — and the per-field snaps then normalize any
+    surviving config toward :class:`MembershipConfig()` so witnesses
+    from different fuzz paths converge on the same canonical knobs.
+    """
+    config = spec.membership
+    if config is None:
+        return
+    yield replace(spec, membership=None)
+    for name in MEMBERSHIP_FIELD_KINDS:
+        default = membership_field_default(name)
+        if getattr(config, name) == default:
+            continue
+        yield replace(spec, membership=config.with_value(name, default))
+
+
 def _candidates(spec: TrialSpec, min_updates: int) -> Iterator[TrialSpec]:
     """Single-step reductions of ``spec``, in deterministic order."""
     if spec.n_updates > min_updates:
@@ -136,6 +163,7 @@ def _candidates(spec: TrialSpec, min_updates: int) -> Iterator[TrialSpec]:
         if halved > _EPSILON:
             yield replace(spec, front_loss=halved)
     yield from _profile_steps(spec)
+    yield from _membership_steps(spec)
 
 
 def shrink_spec(
@@ -201,6 +229,7 @@ def shrink_spec(
         n_updates=spec.n_updates,
         replication=spec.replication,
         faults=spec.faults,
+        membership=spec.membership,
     )
     counterexample = counterexample_from_run(run, target=target)
     assert counterexample is not None  # still_violates(spec) held above

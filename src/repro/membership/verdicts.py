@@ -1,0 +1,68 @@
+"""Churn-aware verdict context: was the run below quorum when it failed?
+
+A violated property means something different while half the replica
+set is state-incomplete than in steady state — the paper's guarantees
+are stated for the full replica set, so the chaos sweep must separate
+"violated while below quorum" (the guarantee was degraded, by design)
+from "violated steady-state" (a real loss under churn).  This module
+folds a run's :class:`~repro.membership.registry.MembershipPlan` into a
+small JSON-safe churn summary that rides on
+:class:`~repro.props.report.PropertyReport` across process boundaries,
+plus the per-property classification the sweeps and tallies consume.
+"""
+
+from __future__ import annotations
+
+__all__ = ["churn_summary", "classify_verdicts"]
+
+
+def _mean(values) -> float | None:
+    values = list(values)
+    return sum(values) / len(values) if values else None
+
+
+def churn_summary(run) -> dict:
+    """JSON-safe membership digest of one completed run.
+
+    ``run`` is a :class:`~repro.components.system.RunResult` whose
+    ``membership`` field carries the executed plan.
+    """
+    plan = run.membership
+    recoveries = plan.recoveries
+    return {
+        "below_quorum": plan.degraded_time > 0.0,
+        "degraded_fraction": plan.degraded_fraction,
+        "recoveries": len(recoveries),
+        "recovered": sum(1 for e in recoveries if e.successful),
+        "aborted": sum(1 for e in recoveries if e.aborted),
+        "unrecovered": sum(
+            1 for e in recoveries if not e.successful and not e.aborted
+        ),
+        "caught_up": sum(run.caught_up),
+        "missed_detections": plan.missed_detections,
+        "mean_detection_latency": _mean(plan.detection_latencies),
+        "mean_time_to_recover": _mean(plan.recovery_latencies),
+    }
+
+
+def classify_verdicts(
+    summary: dict, churn: dict | None
+) -> dict[str, str]:
+    """Per-property churn classification of one run's verdicts.
+
+    ``"ok"`` / ``"undecided"`` pass through; a violation becomes
+    ``"violated-degraded"`` when the run spent any time below quorum
+    (run-level granularity: the checkers decide over whole sequences,
+    so violations are not attributable to individual instants) and
+    ``"violated-steady"`` otherwise.
+    """
+    degraded = bool(churn and churn.get("below_quorum"))
+    out: dict[str, str] = {}
+    for prop, verdict in summary.items():
+        if verdict is None:
+            out[prop] = "undecided"
+        elif verdict:
+            out[prop] = "ok"
+        else:
+            out[prop] = "violated-degraded" if degraded else "violated-steady"
+    return out

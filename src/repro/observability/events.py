@@ -26,19 +26,28 @@ __all__ = [
     "STAGE_LINK",
     "STAGE_CE",
     "STAGE_AD",
+    "STAGE_FAULT",
+    "STAGE_MEMBERSHIP",
     "TraceEvent",
     "event_from_json_obj",
 ]
 
 #: Version tag written into every trace header.  ``repro.trace/1`` covers:
 #: kernel schedule/fire/cancel/compact, link send/drop/deliver/hold,
-#: ce update-received/missed/alert-raised, ad arrive/display/filter.
+#: ce update-received/missed/alert-raised, ad arrive/display/filter,
+#: the time-0.0 ``fault`` surface preamble, and the ``membership``
+#: lifecycle (config/heartbeat/suspect/detection/recovery-plan preamble
+#: plus runtime rejoin/buffered/stale-drop/catchup-ingest/
+#: replay-buffered/catchup-complete/below-quorum) — all additive, so
+#: the version tag is unchanged.
 SCHEMA_VERSION = "repro.trace/1"
 
 STAGE_KERNEL = "kernel"
 STAGE_LINK = "link"
 STAGE_CE = "ce"
 STAGE_AD = "ad"
+STAGE_FAULT = "fault"
+STAGE_MEMBERSHIP = "membership"
 
 
 @dataclass(frozen=True)

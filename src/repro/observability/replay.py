@@ -106,6 +106,7 @@ def record_trial(spec) -> RecordedTrace:
         tracer=recorder,
         faults=getattr(spec, "faults", None),
         kernel=getattr(spec, "kernel", "array"),
+        membership=getattr(spec, "membership", None),
     )
     return RecordedTrace(
         spec=_canonical(asdict(spec)),

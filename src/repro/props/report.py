@@ -89,6 +89,12 @@ class PropertyReport:
     #: what the chaos sweeps aggregate into missed-alert fractions.
     #: Excluded from equality like ``counters``.
     delivery: dict[str, int] | None = field(default=None, compare=False)
+    #: Optional churn context from a membership-enabled run (the
+    #: JSON-safe digest of :func:`repro.membership.churn_summary`),
+    #: letting aggregators distinguish violations that happened while
+    #: the replica set was below quorum from steady-state ones.
+    #: Excluded from equality like ``counters``.
+    churn: dict | None = field(default=None, compare=False)
 
     @property
     def completeness_decided(self) -> bool:
@@ -104,6 +110,15 @@ class PropertyReport:
             ),
             "consistent": None if self.consistent is None else bool(self.consistent),
         }
+
+    @property
+    def churn_verdicts(self) -> dict[str, str]:
+        """Per-property verdicts classified against the churn context:
+        ``ok`` / ``undecided`` / ``violated-degraded`` (the run spent
+        time below quorum) / ``violated-steady``."""
+        from repro.membership.verdicts import classify_verdicts
+
+        return classify_verdicts(self.summary, self.churn)
 
 
 def evaluate_run(
@@ -177,12 +192,31 @@ class PropertyTally:
     #: Summed observability counters (``"stage/kind/node"`` → count) over
     #: every added report that carried them; empty when tracing was off.
     counters: dict[str, int] = field(default_factory=dict)
+    #: Churn context (membership-enabled runs only): how many added runs
+    #: spent any time below quorum, and how the violations split between
+    #: degraded intervals and steady state.  A violation in a run that
+    #: was ever below quorum counts as degraded — run-level granularity,
+    #: matching :func:`repro.membership.classify_verdicts`.
+    degraded_runs: int = 0
+    violations_degraded: int = 0
+    violations_steady: int = 0
 
     def add(self, report: PropertyReport, seed: int | None = None) -> None:
         self.runs += 1
         if report.counters:
             for key, count in report.counters.items():
                 self.counters[key] = self.counters.get(key, 0) + count
+        if report.churn is not None:
+            degraded = bool(report.churn.get("below_quorum"))
+            if degraded:
+                self.degraded_runs += 1
+            violated = sum(
+                1 for verdict in report.summary.values() if verdict is False
+            )
+            if degraded:
+                self.violations_degraded += violated
+            else:
+                self.violations_steady += violated
         if not report.ordered:
             self.ordered_violations += 1
             if self.first_unordered_seed is None:

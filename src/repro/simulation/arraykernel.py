@@ -62,6 +62,11 @@ from repro.core.update import Update
 from repro.displayers.ad5 import AD5
 from repro.displayers.base import ADAlgorithm
 from repro.displayers.registry import PassThrough, make_ad
+from repro.membership.registry import (
+    emit_membership_surface,
+    membership_horizon,
+    plan_membership,
+)
 from repro.simulation.kernel import SimulationError
 from repro.simulation.network import FixedDelay, PerLinkSkewDelay, UniformDelay
 from repro.simulation.rng import RandomStreams
@@ -187,7 +192,7 @@ def _delay_parts(delay) -> tuple:
 
 
 # Event kind codes for the traced path's native heap.
-_E_READING, _E_FRONT, _E_BACK = 0, 1, 2
+_E_READING, _E_FRONT, _E_BACK, _E_REJOIN, _E_CATCHUP = 0, 1, 2, 3, 4
 
 _MAX_EVENTS = 1_000_000
 
@@ -319,6 +324,40 @@ class _Trial:
                 for i in range(replication)
             ]
 
+        # -- dynamic membership (see repro.membership) --
+        self.mem_on = config.membership is not None
+        self.mem_plan = None
+        if self.mem_on:
+            self.mem_plan = plan_membership(
+                config.crash_schedules,
+                config.ad_crash_schedule,
+                replication,
+                config.membership,
+                membership_horizon(workload),
+            )
+            self.rec_flag = [False] * replication
+            self.mem_buf: list[list[Update]] = [[] for _ in range(replication)]
+            self.hw: list[dict[str, int]] = [{} for _ in range(replication)]
+            self.caught_up = [0] * replication
+            # Membership events in the object kernel's *generation* order
+            # (plan.recoveries order, rejoin then catch-up per event) —
+            # exactly the schedule-seq order MonitoringSystem assigns, so
+            # the traced path can replicate seqs 0..m-1 natively.  The
+            # time-sorted view drives the untraced phase-2 merge; sorting
+            # by (time, generation-order) equals (time, seq) order.
+            sched: list[tuple[float, int, int, int, object]] = []
+            for event in self.mem_plan.recoveries:
+                sched.append(
+                    (event.rejoin_time, len(sched), 0, event.ce_index, event)
+                )
+                if event.complete_time is not None:
+                    sched.append(
+                        (event.complete_time, len(sched), 1,
+                         event.ce_index, event)
+                    )
+            self.mem_sched = sched
+            self.mem_events = sorted(sched, key=lambda e: (e[0], e[1]))
+
         # -- AD --
         self.ad_arrivals: list[Alert] = []
         self.ad_times: list[float] = []
@@ -439,9 +478,90 @@ class _Trial:
             )
         return delivery
 
+    # -- membership lifecycle (mirrors CENode emission for emission) --------
+
+    def _mem_rejoin(self, ce_idx: int, event, now: float, emit=None) -> None:
+        """Rejoin: flush an aborted recovery's buffer, enter recovering."""
+        buf = self.mem_buf[ce_idx]
+        if buf:
+            self.missed[ce_idx] += len(buf)
+            buf.clear()
+        self.rec_flag[ce_idx] = event.source != "none"
+        if emit is not None:
+            emit(now, "membership", "rejoin", f"CE{ce_idx + 1}",
+                 source=event.source, attempts=event.attempts,
+                 aborted=event.aborted)
+
+    def _mem_catchup(self, ce_idx: int, event, now: float, on_alert,
+                     emit=None) -> None:
+        """Catch-up: snapshot the source's knowledge at fire time,
+        clock-filter, replay through evaluation, then the live buffer.
+
+        ``on_alert(ce_idx, alert, now)`` ships a raised alert over the
+        back link — the untraced path appends to the phase-3 queue, the
+        traced path runs the full emit-and-schedule send block.
+        """
+        self.rec_flag[ce_idx] = False
+        if event.source == "log":
+            # sent_log append order is already (time, varname)-sorted;
+            # the time filter matters on the untraced path, where phase 1
+            # has logged the whole run's sends before any delivery fires.
+            knowledge = [u for t, u in self.sent_log if t < now]
+        else:
+            peer = int(event.source.rsplit(":CE", 1)[1]) - 1
+            if self.closure is not None:
+                knowledge = list(self.received[peer])
+            else:
+                knowledge = list(self.evaluators[peer].received)
+        hw = self.hw[ce_idx]
+        name = f"CE{ce_idx + 1}"
+        recovered = replayed = stale = 0
+        for update in knowledge:
+            if update.seqno <= hw.get(update.varname, 0):
+                continue
+            hw[update.varname] = update.seqno
+            if emit is not None:
+                emit(now, "membership", "catchup-ingest", name,
+                     msg=str(update), source=event.source)
+            recovered += 1
+            alert = self._ingest(ce_idx, update)
+            if alert is not None:
+                if emit is not None:
+                    emit(now, "ce", "alert-raised", name, alert=str(alert))
+                on_alert(ce_idx, alert, now)
+        for update in self.mem_buf[ce_idx]:
+            if update.seqno <= hw.get(update.varname, 0):
+                stale += 1
+                continue
+            hw[update.varname] = update.seqno
+            if emit is not None:
+                emit(now, "membership", "replay-buffered", name,
+                     msg=str(update))
+            replayed += 1
+            alert = self._ingest(ce_idx, update)
+            if alert is not None:
+                if emit is not None:
+                    emit(now, "ce", "alert-raised", name, alert=str(alert))
+                on_alert(ce_idx, alert, now)
+        self.mem_buf[ce_idx].clear()
+        self.caught_up[ce_idx] += recovered
+        if emit is not None:
+            emit(now, "membership", "catchup-complete", name,
+                 source=event.source, recovered=recovered,
+                 replayed=replayed, stale=stale,
+                 clock={var: hw[var] for var in sorted(hw)})
+
     # -- result assembly -----------------------------------------------------
 
     def result(self) -> RunResult:
+        if self.mem_on:
+            # A node still recovering at end of run never evaluated its
+            # buffered arrivals — they count as missed (CENode.flush).
+            for ce_idx, buf in enumerate(self.mem_buf):
+                if buf:
+                    self.missed[ce_idx] += len(buf)
+                    buf.clear()
+                self.rec_flag[ce_idx] = False
         if self.closure is None:
             received = tuple(e.received for e in self.evaluators)
             ce_alerts = tuple(e.alerts for e in self.evaluators)
@@ -475,6 +595,8 @@ class _Trial:
             ),
             missed_while_down=tuple(self.missed),
             dm_suppressed=tuple(self.suppressed),
+            caught_up=tuple(self.caught_up) if self.mem_on else (),
+            membership=self.mem_plan,
         )
 
 
@@ -702,6 +824,35 @@ def _run_untraced(trial: _Trial) -> RunResult:
         and closure is not None
         and tuple(algorithm.varnames) == tuple(trial.cond_vars)
     )
+
+    # Membership events merge into the phase-2 stream by (time, seq): they
+    # hold the globally lowest schedule seqs, so at equal time a rejoin or
+    # catch-up fires before any delivery.  ``fire_mem`` drains all events
+    # due at or before the limit; the guard below keeps the membership-off
+    # hot path at a single dead comparison per delivery.
+    mem_events = trial.mem_events if trial.mem_on else ()
+    mn = len(mem_events)
+    mi = 0
+
+    def mem_alert(ce_idx: int, alert: Alert, mtime: float) -> None:
+        nonlocal brank
+        seqs = (
+            tuple([b[0].seqno for b in trial.bufs[ce_idx]])
+            if ad5_inline else None
+        )
+        back_append((trial._deliver_back(ce_idx, mtime), brank, alert, seqs))
+        brank += 1
+
+    def fire_mem(limit: float) -> None:
+        nonlocal mi
+        while mi < mn and mem_events[mi][0] <= limit:
+            mtime, _order, mkind, mce, mev = mem_events[mi]
+            mi += 1
+            if mkind == 0:
+                trial._mem_rejoin(mce, mev, mtime)
+            else:
+                trial._mem_catchup(mce, mev, mtime, mem_alert)
+
     if closure is not None:
         buf_deg = trial.buf_deg
         bufs_all = trial.bufs
@@ -719,7 +870,10 @@ def _run_untraced(trial: _Trial) -> RunResult:
             buf_deg[li % replication].get(variables[li // replication])
             for li in range(trial.n_links)
         ]
+        mem_on = trial.mem_on
         for time, _rank, tag, li, update in arrivals:
+            if mi < mn and mem_events[mi][0] <= time:
+                fire_mem(time)
             if tag <= fl_last_tag[li]:
                 continue  # duplicate or reordered datagram: receiver drops it
             fl_last_tag[li] = tag
@@ -728,6 +882,13 @@ def _run_untraced(trial: _Trial) -> RunResult:
             if crash is not None and not crash.is_up(time):
                 missed[ce_idx] += 1
                 continue
+            if mem_on:
+                if trial.rec_flag[ce_idx]:
+                    trial.mem_buf[ce_idx].append(update)
+                    continue
+                if update.seqno <= trial.hw[ce_idx].get(update.varname, 0):
+                    continue  # stale in-flight datagram: catch-up beat it
+                trial.hw[ce_idx][update.varname] = update.seqno
             # -- inline ConditionEvaluator.ingest ------------------------
             pair = li_pair[li]
             if pair is None:
@@ -799,7 +960,10 @@ def _run_untraced(trial: _Trial) -> RunResult:
     else:
         ingest = trial._ingest
         deliver_back = trial._deliver_back
+        mem_on = trial.mem_on
         for time, _rank, tag, li, update in arrivals:
+            if mi < mn and mem_events[mi][0] <= time:
+                fire_mem(time)
             if tag <= fl_last_tag[li]:
                 continue
             fl_last_tag[li] = tag
@@ -808,10 +972,19 @@ def _run_untraced(trial: _Trial) -> RunResult:
             if crash is not None and not crash.is_up(time):
                 missed[ce_idx] += 1
                 continue
+            if mem_on:
+                if trial.rec_flag[ce_idx]:
+                    trial.mem_buf[ce_idx].append(update)
+                    continue
+                if update.seqno <= trial.hw[ce_idx].get(update.varname, 0):
+                    continue
+                trial.hw[ce_idx][update.varname] = update.seqno
             alert = ingest(ce_idx, update)
             if alert is not None:
                 back_append((deliver_back(ce_idx, time), brank, alert, None))
                 brank += 1
+    if mi < mn:
+        fire_mem(float("inf"))
 
     # Phase 3 — AD deliveries in (time, brank) order.  For the two
     # hottest algorithms the accept/record scan runs inline over plain
@@ -914,6 +1087,8 @@ def _run_traced(trial: _Trial, tracer) -> RunResult:
     replication = trial.replication
     emit = tracer.emit
     _emit_fault_surface(trial, emit)
+    if trial.mem_on:
+        emit_membership_surface(emit, trial.mem_plan)
     # Link display names are only needed for trace notes, so they are
     # built here rather than in the (hot) shared _Trial setup.
     trial.fl_name = [
@@ -926,6 +1101,20 @@ def _run_traced(trial: _Trial, tracer) -> RunResult:
     # kernel's global schedule counter exactly, including readings.
     heap: list[tuple[float, int, int, tuple]] = []
     seq = 0
+    # Membership events are scheduled before any reading (MonitoringSystem
+    # run-order), so they take seqs 0..m-1 and win every time tie.
+    if trial.mem_on:
+        for mtime, _order, mkind, mce, mev in trial.mem_sched:
+            note = (
+                f"CE{mce + 1} rejoin" if mkind == 0
+                else f"CE{mce + 1} catch-up"
+            )
+            emit(0.0, "kernel", "schedule", "", seq=seq, at=mtime, note=note)
+            heap.append(
+                (mtime, seq,
+                 _E_REJOIN if mkind == 0 else _E_CATCHUP, (mce, mev, note))
+            )
+            seq += 1
     for dm_idx, var in enumerate(trial.variables):
         note = f"DM-{var} reading"
         for time, value in trial.readings[dm_idx]:
@@ -937,6 +1126,40 @@ def _run_traced(trial: _Trial, tracer) -> RunResult:
             heap.append((time, seq, _E_READING, (dm_idx, value, note)))
             seq += 1
     heapq.heapify(heap)
+
+    def send_back(ce_idx: int, alert: Alert, now: float) -> None:
+        """The CE->AD send block (ReliableLink/StoreAndForward semantics):
+        emits link/send, the hold events, the monotone clamp, and the
+        delivery schedule.  Shared by front-delivery alerts and catch-up
+        replay alerts."""
+        nonlocal seq
+        back_name = f"CE{ce_idx + 1}->AD"
+        amsg = str(alert)
+        emit(now, "link", "send", back_name, msg=amsg)
+        raw = now + trial._sample_back(ce_idx, now)
+        outage = trial.back_outage[ce_idx]
+        if outage is not None:
+            up_at = outage.next_up_time(raw)
+            if up_at > raw:
+                emit(now, "link", "hold", back_name,
+                     msg=amsg, until=up_at, reason="outage")
+                raw = up_at
+        delivery = raw if raw > trial.bl_last[ce_idx] else trial.bl_last[ce_idx]
+        if trial.ad_avail is not None:
+            available_at = trial.ad_avail.next_up_time(delivery)
+            if available_at > delivery:
+                emit(now, "link", "hold", back_name,
+                     msg=amsg, until=available_at)
+                delivery = available_at
+        trial.bl_last[ce_idx] = delivery
+        if delivery < now:
+            raise SimulationError(
+                f"cannot schedule at {delivery} before current time {now}"
+            )
+        note = f"{back_name} deliver"
+        emit(now, "kernel", "schedule", "", seq=seq, at=delivery, note=note)
+        heapq.heappush(heap, (delivery, seq, _E_BACK, (ce_idx, alert, note)))
+        seq += 1
 
     loss_model = config.front_loss_model
     duplication = config.front_duplication
@@ -1031,38 +1254,30 @@ def _run_traced(trial: _Trial, tracer) -> RunResult:
                 trial.missed[ce_idx] += 1
                 emit(time, "ce", "missed", ce_name, msg=msg, reason="crashed")
                 continue
+            if trial.mem_on:
+                if trial.rec_flag[ce_idx]:
+                    trial.mem_buf[ce_idx].append(update)
+                    emit(time, "membership", "buffered", ce_name,
+                         msg=msg, reason="recovering")
+                    continue
+                if update.seqno <= trial.hw[ce_idx].get(update.varname, 0):
+                    emit(time, "membership", "stale-drop", ce_name, msg=msg)
+                    continue
+                trial.hw[ce_idx][update.varname] = update.seqno
             emit(time, "ce", "update-received", ce_name, msg=msg)
             alert = trial._ingest(ce_idx, update)
             if alert is None:
                 continue
             emit(time, "ce", "alert-raised", ce_name, alert=str(alert))
-            back_name = f"{ce_name}->AD"
-            amsg = str(alert)
-            emit(time, "link", "send", back_name, msg=amsg)
-            raw = time + trial._sample_back(ce_idx, time)
-            outage = trial.back_outage[ce_idx]
-            if outage is not None:
-                up_at = outage.next_up_time(raw)
-                if up_at > raw:
-                    emit(time, "link", "hold", back_name,
-                         msg=amsg, until=up_at, reason="outage")
-                    raw = up_at
-            delivery = raw if raw > trial.bl_last[ce_idx] else trial.bl_last[ce_idx]
-            if trial.ad_avail is not None:
-                available_at = trial.ad_avail.next_up_time(delivery)
-                if available_at > delivery:
-                    emit(time, "link", "hold", back_name,
-                         msg=amsg, until=available_at)
-                    delivery = available_at
-            trial.bl_last[ce_idx] = delivery
-            if delivery < time:
-                raise SimulationError(
-                    f"cannot schedule at {delivery} before current time {time}"
-                )
-            note = f"{back_name} deliver"
-            emit(time, "kernel", "schedule", "", seq=seq, at=delivery, note=note)
-            heapq.heappush(heap, (delivery, seq, _E_BACK, (ce_idx, alert, note)))
-            seq += 1
+            send_back(ce_idx, alert, time)
+
+        elif kind == _E_REJOIN:
+            mce, mev, _note = payload
+            trial._mem_rejoin(mce, mev, time, emit)
+
+        elif kind == _E_CATCHUP:
+            mce, mev, _note = payload
+            trial._mem_catchup(mce, mev, time, send_back, emit)
 
         else:  # _E_BACK
             ce_idx, alert, _note = payload

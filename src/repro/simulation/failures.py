@@ -13,6 +13,7 @@ much replication reduces the probability of a missed alert.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from random import Random
@@ -22,17 +23,37 @@ __all__ = ["CrashSchedule", "random_crash_schedule"]
 
 @dataclass(frozen=True)
 class CrashSchedule:
-    """Closed intervals [start, end] during which the node is down."""
+    """Closed intervals [start, end] during which the node is down.
+
+    Construction validates the window list outright: non-finite
+    endpoints, inverted windows, and unsorted/overlapping windows all
+    raise immediately.  (NaN endpoints used to slip through — every
+    comparison against NaN is False, so ``is_up`` silently reported the
+    node as always up.)  Zero-length windows (``start == end``, down for
+    exactly one instant) and adjacent windows (one ends where the next
+    begins) are legal; ``next_up_time`` chains across the latter.
+    """
 
     windows: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         previous_end = None
         for start, end in self.windows:
+            if not (math.isfinite(start) and math.isfinite(end)):
+                raise ValueError(
+                    f"crash window endpoints must be finite, got "
+                    f"({start}, {end})"
+                )
             if end < start:
-                raise ValueError(f"crash window end {end} before start {start}")
+                raise ValueError(
+                    f"crash window end {end} before start {start}"
+                )
             if previous_end is not None and start < previous_end:
-                raise ValueError("crash windows must be sorted and disjoint")
+                raise ValueError(
+                    f"crash windows must be sorted and disjoint: window "
+                    f"starting at {start} overlaps previous end "
+                    f"{previous_end}"
+                )
             previous_end = end
 
     @classmethod

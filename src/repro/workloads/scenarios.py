@@ -214,6 +214,7 @@ def run_scenario(
     tracer: object | None = None,
     faults: object | None = None,
     kernel: str = "array",
+    membership: object | None = None,
 ) -> RunResult:
     """Run one randomized trial of a scenario under an AD algorithm.
 
@@ -231,6 +232,11 @@ def run_scenario(
     into the config.  Fault draws come from dedicated ``faults/...``
     streams, so a clean profile (or ``None``) leaves the run bit-identical
     to the faults-free path.
+
+    ``membership`` (a :class:`~repro.membership.MembershipConfig`) turns
+    crashes into a detect → rejoin → catch-up lifecycle; the plan is
+    derived analytically from the materialized crash schedules, so it
+    consumes no randomness and composes with ``faults``.
     """
     streams = RandomStreams(seed)
     condition = scenario.make_condition()
@@ -243,6 +249,7 @@ def run_scenario(
         ad_algorithm=ad_algorithm,
         front_loss=scenario.front_loss,
         crash_schedules=dict(crash_schedules or {}),
+        membership=membership,
         **config_kwargs,
     )
     if faults is not None:

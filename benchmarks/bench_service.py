@@ -1,0 +1,197 @@
+"""Service-runtime benchmark — ingest throughput and update→alert latency.
+
+Records one large update feed (the aggressive single-variable cell, whose
+~40% front loss still leaves hundreds of deliveries and alerts), streams
+it through the asyncio monitoring service over a real localhost socket,
+and reports:
+
+* **updates/sec ingested** — deliveries over the client's full
+  send→result round trip (socket framing, routing, CE evaluation, AD
+  merge and drain all included);
+* **update→alert latency** p50/p99/max in ms — triggering update decoded
+  off the socket → alert displayed by the AD merge consumer;
+* **conformance** — the service's displayed bytes and verdicts must be
+  identical to the array kernel's for the same feed (a benchmark of a
+  wrong service would be meaningless).
+
+Run directly (writes ``benchmarks/BENCH_service.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+CI smoke gate (best-of-``--repeat``, generous tolerance for shared
+runners; conformance is gated unconditionally)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --repeat 3 --check --tolerance 4.0 \
+        --check-against benchmarks/BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.engine.spec import TrialSpec
+from repro.service import KernelRuntime, MonitorService, ServiceConfig, record_feed
+from repro.service.server import execute_feed
+
+SPEC = TrialSpec(
+    matrix="single", row="aggressive", algorithm="AD-3", seed=7, n_updates=400
+)
+QUEUE_CAPACITY = 64
+DEFAULT_REPEAT = 3
+#: Allowed slowdown vs the committed baseline (CI runners are noisy and
+#: heterogeneous; this gate catches order-of-magnitude regressions like
+#: an accidental per-update drain, not microarchitecture drift).
+DEFAULT_TOLERANCE = 4.0
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
+
+
+def run_benchmark(repeat: int = DEFAULT_REPEAT) -> dict:
+    feed = record_feed(SPEC)
+    reference = KernelRuntime("array").execute(feed)
+
+    async def one_round_trip():
+        service = MonitorService(ServiceConfig(queue_capacity=QUEUE_CAPACITY))
+        await service.start()
+        try:
+            started = time.perf_counter()
+            result = await execute_feed(feed, service.host, service.port)
+            elapsed = time.perf_counter() - started
+        finally:
+            await service.stop()
+        return result, elapsed
+
+    best = None
+    result = None
+    for _ in range(max(1, repeat)):
+        result, elapsed = asyncio.run(one_round_trip())
+        if best is None or elapsed < best:
+            best = elapsed
+
+    conformant = (
+        result.displayed_bytes() == reference.displayed_bytes()
+        and result.verdicts == reference.verdicts
+    )
+    return {
+        "spec": {
+            "row": SPEC.row, "algorithm": SPEC.algorithm, "seed": SPEC.seed,
+            "n_updates": SPEC.n_updates, "replication": SPEC.replication,
+        },
+        "python": platform.python_version(),
+        "queue_capacity": QUEUE_CAPACITY,
+        "deliveries": len(feed.deliveries),
+        "alerts": feed.total_alerts,
+        "displayed": len(result.displayed),
+        "conformant": conformant,
+        "round_trip_s": best,
+        "updates_per_s": len(feed.deliveries) / best,
+        "latency_ms": result.latency_ms,
+    }
+
+
+def format_result(result: dict) -> str:
+    latency = result["latency_ms"]
+    return "\n".join([
+        "Service runtime benchmark "
+        f"({result['spec']['row']}/{result['spec']['algorithm']}, "
+        f"{result['spec']['n_updates']} updates)",
+        f"  deliveries ingested : {result['deliveries']}",
+        f"  alerts merged       : {result['alerts']}"
+        f" ({result['displayed']} displayed)",
+        f"  round trip          : {result['round_trip_s'] * 1e3:.1f} ms",
+        f"  throughput          : {result['updates_per_s']:,.0f} updates/s",
+        f"  update→alert latency: p50={latency['p50']:.3f} ms "
+        f"p99={latency['p99']:.3f} ms max={latency['max']:.3f} ms",
+        f"  conformant vs array kernel: "
+        f"{'YES' if result['conformant'] else 'NO'}",
+    ])
+
+
+def check(result: dict, baseline_path: Path, tolerance: float) -> int:
+    failures: list[str] = []
+    if not result["conformant"]:
+        failures.append(
+            "service output diverged from the array kernel (byte identity "
+            "or verdicts)"
+        )
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        floor = baseline["updates_per_s"] / tolerance
+        if result["updates_per_s"] < floor:
+            failures.append(
+                f"throughput {result['updates_per_s']:,.0f} updates/s below "
+                f"{floor:,.0f} (committed {baseline['updates_per_s']:,.0f} "
+                f"/ tolerance {tolerance}x)"
+            )
+        ceiling = baseline["latency_ms"]["p99"] * tolerance
+        if result["latency_ms"]["p99"] > ceiling:
+            failures.append(
+                f"p99 latency {result['latency_ms']['p99']:.3f} ms above "
+                f"{ceiling:.3f} ms (committed "
+                f"{baseline['latency_ms']['p99']:.3f} ms "
+                f"* tolerance {tolerance}x)"
+            )
+    else:
+        failures.append(f"no committed baseline at {baseline_path}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"OK: conformant; {result['updates_per_s']:,.0f} updates/s, "
+            f"p99 {result['latency_ms']['p99']:.3f} ms within {tolerance}x "
+            "of baseline"
+        )
+    return 1 if failures else 0
+
+
+def test_service_throughput(benchmark):
+    """Harness entry point: one round trip with artifact output."""
+    from benchmarks.conftest import save_result
+
+    result = benchmark.pedantic(
+        lambda: run_benchmark(repeat=1), rounds=1, iterations=1
+    )
+    save_result("service", format_result(result))
+    assert result["conformant"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=DEFAULT_REPEAT)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless conformance and perf gates pass (no JSON "
+        "is written)",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--check-against", type=Path, default=RESULT_PATH,
+        help="committed baseline JSON for the perf gates",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help=f"write the result JSON here (default: {RESULT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args.repeat)
+    print(format_result(result))
+
+    if args.check:
+        return check(result, args.check_against, args.tolerance)
+
+    output = args.output or RESULT_PATH
+    output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,10 @@ Everything the benchmarks do, driveable from a shell::
     python -m repro maximality
     python -m repro availability --trials 30
     python -m repro chaos --intensities 0 1 2 --trials 30
+    python -m repro feed record aggressive --seed 7 --out run.feed.jsonl
+    python -m repro feed conform run.feed.jsonl   # all runtimes identical?
+    python -m repro serve --port 7801             # online monitoring service
+    python -m repro feed send run.feed.jsonl --port 7801 --conform
     python -m repro list
 
 Exit status is 0 when the measured results agree with the paper's claims,
@@ -456,6 +460,129 @@ def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _feed_spec_from_args(args: argparse.Namespace):
+    """Build the TrialSpec a ``repro feed record`` invocation describes."""
+    from repro.engine.spec import TrialSpec
+
+    _scenario_for(args.row, args.multi)  # validate the row early
+    matrix = "multi" if args.multi else "single"
+    faults = None
+    if args.chaos is not None:
+        from repro.faults import DEFAULT_CHAOS_PROFILE
+
+        faults = DEFAULT_CHAOS_PROFILE.scaled(args.chaos)
+        if faults.is_clean:
+            faults = None
+    return TrialSpec(
+        matrix, args.row, args.algorithm, args.seed, args.updates,
+        args.replication, faults=faults, kernel=args.kernel,
+    )
+
+
+def _cmd_feed_record(args: argparse.Namespace) -> int:
+    from repro.service import record_feed
+
+    spec = _feed_spec_from_args(args)
+    feed = record_feed(spec)
+    out = args.out or (
+        f"feed_{spec.matrix}_{args.row}_{args.algorithm}_seed{args.seed}.jsonl"
+    )
+    path = feed.write(out)
+    print(
+        f"recorded {len(feed.deliveries)} deliveries / {feed.total_alerts} "
+        f"alerts across {feed.replication} CEs to {path}"
+    )
+    return 0
+
+
+def _cmd_feed_conform(args: argparse.Namespace) -> int:
+    from repro.service import check_conformance, default_runtimes, load_feed
+
+    feed = load_feed(args.path)
+    report = check_conformance(
+        feed, default_runtimes(include_service=not args.no_service)
+    )
+    for result in report.results:
+        latency = ""
+        if result.latency_ms:
+            latency = (
+                f"  p50={result.latency_ms['p50']:.3f}ms "
+                f"p99={result.latency_ms['p99']:.3f}ms"
+            )
+        print(
+            f"  {result.runtime:<14} digest={result.digest()[:16]} "
+            f"displayed={len(result.displayed)} "
+            f"verdicts={result.verdicts}{latency}"
+        )
+    print(f"conformance: {'IDENTICAL' if report.identical else 'DIVERGED'}")
+    return 0 if report.identical else 1
+
+
+def _cmd_feed_send(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import DirectRuntime, load_feed
+    from repro.service.server import execute_feed
+
+    feed = load_feed(args.path)
+    result = asyncio.run(execute_feed(feed, args.host, args.port))
+    print(
+        f"service displayed {len(result.displayed)} alerts, "
+        f"verdicts={result.verdicts}"
+    )
+    if result.latency_ms:
+        print(
+            f"  update→alert latency: p50={result.latency_ms['p50']:.3f}ms "
+            f"p99={result.latency_ms['p99']:.3f}ms"
+        )
+    if args.conform:
+        reference = DirectRuntime().execute(feed)
+        identical = (
+            result.digest() == reference.digest()
+            and result.verdicts == reference.verdicts
+        )
+        print(
+            "conformance vs direct runtime: "
+            f"{'IDENTICAL' if identical else 'DIVERGED'}"
+        )
+        return 0 if identical else 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import MonitorService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        high_water=args.high_water,
+    )
+    service = MonitorService(config)
+
+    async def run() -> None:
+        await service.start()
+        print(f"monitoring service listening on {service.host}:{service.port}",
+              flush=True)
+        try:
+            await service.serve_until(once=args.once)
+        finally:
+            counters = service.counters.as_dict()
+            if counters:
+                print("service counters:")
+                for key, count in counters.items():
+                    print(f"  {key}: {count}")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    print(f"served {service.connections_handled} connection(s)")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("AD algorithms:")
     for name in algorithm_names():
@@ -741,6 +868,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="(--churn) where a recovering CE replays history from",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_feed = sub.add_parser(
+        "feed", help="record, replay and conformance-check update feeds"
+    )
+    feed_sub = p_feed.add_subparsers(dest="feed_command", required=True)
+    p_frec = feed_sub.add_parser(
+        "record",
+        help="run one trial and record its update feed (deliveries + "
+        "arrival stamps) for service replay",
+    )
+    p_frec.add_argument("row", choices=list(ROW_ORDER))
+    p_frec.add_argument("--algorithm", default="AD-1")
+    p_frec.add_argument("--seed", type=int, default=0)
+    p_frec.add_argument("--updates", type=int, default=30)
+    p_frec.add_argument("--replication", type=int, default=2)
+    p_frec.add_argument("--multi", action="store_true")
+    p_frec.add_argument(
+        "--kernel", choices=("object", "array"), default="array",
+        help="recording executor (both record identical feeds)",
+    )
+    p_frec.add_argument(
+        "--chaos", type=float, default=None, metavar="INTENSITY",
+        help="inject faults at this chaos intensity (default profile)",
+    )
+    p_frec.add_argument("--out", default=None, help="output .jsonl path")
+    p_frec.set_defaults(func=_cmd_feed_record)
+    p_fcon = feed_sub.add_parser(
+        "conform",
+        help="replay a feed through every runtime (kernels, direct core, "
+        "asyncio service); exit 0 iff all outputs are byte-identical",
+    )
+    p_fcon.add_argument("path")
+    p_fcon.add_argument(
+        "--no-service", action="store_true",
+        help="skip the asyncio service runtime (no sockets)",
+    )
+    p_fcon.set_defaults(func=_cmd_feed_conform)
+    p_fsend = feed_sub.add_parser(
+        "send", help="stream a recorded feed to a running 'repro serve'"
+    )
+    p_fsend.add_argument("path")
+    p_fsend.add_argument("--host", default="127.0.0.1")
+    p_fsend.add_argument("--port", type=int, required=True)
+    p_fsend.add_argument(
+        "--conform", action="store_true",
+        help="also replay locally (direct runtime) and exit 0 iff the "
+        "service's output is byte-identical",
+    )
+    p_fsend.set_defaults(func=_cmd_feed_send)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the online monitoring service (asyncio runtime)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (0 = ephemeral, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="bound of every inter-stage pipeline queue",
+    )
+    p_serve.add_argument(
+        "--high-water", type=int, default=None,
+        help="throttle-reporting mark (default: 3/4 of capacity)",
+    )
+    p_serve.add_argument(
+        "--once", action="store_true",
+        help="exit after serving one connection (CI smoke mode)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_list = sub.add_parser("list", help="algorithms, scenarios, tables")
     p_list.set_defaults(func=_cmd_list)

@@ -159,6 +159,29 @@ class RunResult:
         """Union of the CEs' alert streams (unordered concatenation)."""
         return tuple(a for stream in self.ce_alerts for a in stream)
 
+    def arrival_stamps(self) -> tuple[tuple[tuple[float, int], ...], ...]:
+        """Per-CE ``(arrival_time, global_index)`` stamps of the AD stream.
+
+        Back links are FIFO, so the k-th stamp of CE *i* belongs to the
+        k-th alert that CE sent; the global index makes ``(time, index)``
+        a total order that reproduces the kernel's AD arrival
+        interleaving exactly.  This is the scheduler-owned half of a
+        run's semantics — the service runtime (:mod:`repro.service`)
+        replays it without a scheduler by merging stamped alert streams.
+        """
+        stamps: list[list[tuple[float, int]]] = [
+            [] for _ in range(self.config.replication)
+        ]
+        for index, (alert, time) in enumerate(
+            zip(self.ad_arrivals, self.ad_arrival_times)
+        ):
+            if not alert.source.startswith("CE"):
+                raise ValueError(
+                    f"arrival {index} has unattributed source {alert.source!r}"
+                )
+            stamps[int(alert.source[2:]) - 1].append((time, index))
+        return tuple(tuple(per_ce) for per_ce in stamps)
+
 
 class MonitoringSystem:
     """Builds and runs one monitoring system instance."""

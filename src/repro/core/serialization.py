@@ -37,6 +37,7 @@ __all__ = [
     "trace_from_json",
     "alert_to_json",
     "alert_from_json",
+    "alert_canonical_line",
     "condition_to_json",
     "condition_from_json",
     "counterexample_to_json",
@@ -85,6 +86,18 @@ def alert_from_json(data: dict[str, Any]) -> Alert:
         }
     )
     return Alert(str(data["condname"]), histories, str(data.get("source", "")))
+
+
+def alert_canonical_line(alert: Alert) -> str:
+    """One canonical JSON line per alert — the byte-identity carrier.
+
+    Sorted keys, no whitespace: two alert sequences are byte-identical
+    under this rendering iff they agree on condition name, source CE and
+    every ``(seqno, value)`` history entry.  The service conformance
+    harness (:mod:`repro.service`) frames these lines to compare a live
+    runtime's displayed output against the simulator's.
+    """
+    return json.dumps(alert_to_json(alert), sort_keys=True, separators=(",", ":"))
 
 
 # -- conditions ----------------------------------------------------------------

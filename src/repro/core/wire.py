@@ -17,7 +17,13 @@ This module makes that concrete:
   AD-1 only equality-tests histories, so a CHECKSUM suffices;
 * :class:`ChecksumAD1` — AD-1 reimplemented over checksums alone, which
   the test-suite shows is decision-for-decision identical to AD-1
-  (collisions aside).
+  (collisions aside);
+* a length-prefixed **frame codec** (:func:`encode_frame` /
+  :class:`FrameDecoder`) — the byte-stream transport the service runtime
+  (:mod:`repro.service`) speaks over its local sockets.  Frames are a
+  big-endian 4-byte payload length followed by the payload; a declared
+  length above the decoder's ceiling poisons the stream (raises
+  :class:`FrameError`) rather than buffering unboundedly.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import hashlib
 import struct
 from dataclasses import dataclass
 from enum import Enum
+from typing import Iterator
 
 from repro.core.alert import Alert
 from repro.displayers.base import ADAlgorithm
@@ -37,6 +44,11 @@ __all__ = [
     "minimum_encoding",
     "ChecksumAD1",
     "checksum_histories",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "FrameDecoder",
+    "iter_frames",
 ]
 
 #: Assumed fixed-width field sizes (bytes) for size accounting.
@@ -133,6 +145,97 @@ def minimum_encoding(algorithm_name: str) -> AlertEncoding:
         raise KeyError(
             f"unknown AD algorithm {algorithm_name!r}; known: {list(_MINIMUM)}"
         ) from None
+
+
+# -- length-prefixed frame codec ---------------------------------------------
+
+#: Frame header: big-endian unsigned 32-bit payload length.
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Default ceiling on a single frame's payload.  Large enough for any
+#: alert or feed message the service ships, small enough that a corrupt
+#: length prefix cannot make a decoder buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 24  # 16 MiB
+
+
+class FrameError(ValueError):
+    """A malformed frame: oversized, or a stream truncated mid-frame."""
+
+
+def encode_frame(payload: bytes, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Wrap ``payload`` in a length-prefixed frame.
+
+    Zero-length payloads are legal (they encode to a bare header); a
+    payload above ``max_bytes`` raises :class:`FrameError` — the sender
+    must never emit a frame its peer is obliged to reject.
+    """
+    if len(payload) > max_bytes:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_bytes}-byte ceiling"
+        )
+    return _FRAME_HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary chunking of the stream.
+
+    Feed it whatever the socket produced; it returns every complete
+    payload and buffers the remainder.  Call :meth:`close` at end of
+    stream — a non-empty buffer there means the peer died mid-frame,
+    which is a :class:`FrameError`, not silent truncation.
+    """
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES) -> None:
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held back waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return the payloads completed by it, in order."""
+        self._buffer.extend(data)
+        payloads: list[bytes] = []
+        while len(self._buffer) >= _FRAME_HEADER.size:
+            (length,) = _FRAME_HEADER.unpack_from(self._buffer)
+            if length > self.max_bytes:
+                raise FrameError(
+                    f"declared frame length {length} exceeds the "
+                    f"{self.max_bytes}-byte ceiling"
+                )
+            end = _FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payloads.append(bytes(self._buffer[_FRAME_HEADER.size:end]))
+            del self._buffer[:end]
+            self.frames_decoded += 1
+        return payloads
+
+    def close(self) -> None:
+        """Assert the stream ended on a frame boundary."""
+        if self._buffer:
+            raise FrameError(
+                f"stream truncated mid-frame: {len(self._buffer)} trailing "
+                "bytes do not form a complete frame"
+            )
+
+
+def iter_frames(
+    data: bytes, *, max_bytes: int = MAX_FRAME_BYTES
+) -> Iterator[bytes]:
+    """Decode a fully-buffered byte string of concatenated frames.
+
+    Raises :class:`FrameError` on truncation or an oversized frame.
+    """
+    decoder = FrameDecoder(max_bytes)
+    yield from decoder.feed(data)
+    decoder.close()
 
 
 class ChecksumAD1(ADAlgorithm):

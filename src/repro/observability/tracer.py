@@ -95,6 +95,16 @@ class CountersTracer:
         """A plain sorted dict — the picklable cross-process form."""
         return dict(sorted(self.counts.items()))
 
+    def merge(self, counters: "CountersTracer | dict[str, int]") -> None:
+        """Fold another tracer's (or ``as_dict``'s) counts into this one.
+
+        The service runtime keeps one tracer per connection pipeline and
+        merges them into the server-lifetime aggregate on drain.
+        """
+        if isinstance(counters, CountersTracer):
+            counters = counters.counts
+        self.counts.update(counters)
+
     def total(self, stage: str, kind: str) -> int:
         """Sum of ``stage/kind/*`` over every node."""
         prefix = f"{stage}/{kind}/"

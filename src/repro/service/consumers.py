@@ -1,0 +1,183 @@
+"""The service pipeline's stage consumers.
+
+Three coroutine stages sit between the socket reader and the result
+frame; each is a plain async function over :class:`BoundedQueue`\\ s so
+the property suite can assemble pipelines without sockets:
+
+* :func:`route_updates` — fan the ingest stream out to per-CE update
+  queues (the feed names the target CE per delivery; real DMs would
+  broadcast, and lossy front links would produce exactly such per-CE
+  streams).
+* :func:`ce_replica` — one per CE: a stateful online consumer wrapping
+  a :class:`~repro.core.evaluator.ConditionEvaluator`; every alert it
+  raises is paired with its pre-recorded arrival stamp and pushed into
+  the **shared** alert queue.
+* :func:`ad_merge` — the AD-side consumer.  All CEs fan into one
+  bounded queue (a per-CE queue k-way merge can deadlock: the merger
+  awaits one CE's head while another CE blocks on its own full queue
+  and the router blocks behind *it*); the merger re-establishes the
+  arrival order with a reorder buffer released in precomputed stamp
+  order, then filters online through the AD algorithm.
+
+End-of-stream uses the queue CLOSE sentinel: the router closes every
+CE queue, each CE closes the shared alert queue once, and the merger
+exits after seeing one CLOSE per CE — so every item enqueued before a
+close is consumed first, which is the graceful-drain guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from repro.core.alert import Alert
+from repro.core.update import Update
+from repro.service.queues import CLOSE, BoundedQueue
+from repro.service.runtime import FeedMismatchError
+
+__all__ = ["StampedAlert", "MergeResult", "route_updates", "ce_replica", "ad_merge"]
+
+#: Optional test hook: awaited before each update is evaluated, letting
+#: property tests impose arbitrary per-CE pacing (slow consumers).
+Pace = Callable[[int, Update], Awaitable[None]]
+
+
+@dataclass(frozen=True)
+class StampedAlert:
+    """An alert paired with its recorded back-link arrival stamp."""
+
+    ce_index: int
+    #: Position in the CE's own alert stream (FIFO back link ⇒ the
+    #: position indexes the CE's stamp list).
+    position: int
+    stamp: tuple[float, int]
+    alert: Alert
+    #: ``time.monotonic_ns()`` when the triggering update entered the
+    #: service — the start of the update→alert latency measurement.
+    ingest_ns: int
+
+
+@dataclass
+class MergeResult:
+    """What the AD-side consumer saw."""
+
+    #: The re-established arrival stream (input to the AD filter).
+    arrivals: list[Alert] = field(default_factory=list)
+    #: Update→display latency per displayed alert, in nanoseconds.
+    display_latencies_ns: list[int] = field(default_factory=list)
+    #: Largest reorder buffer the merge ever held (stamp-skew bound).
+    peak_reorder: int = 0
+
+
+async def route_updates(
+    ingest: BoundedQueue, ce_queues: list[BoundedQueue]
+) -> None:
+    """Fan ``(ce_index, update, ingest_ns)`` items out to per-CE queues."""
+    while True:
+        item = await ingest.get()
+        if item is CLOSE:
+            break
+        ce_index, update, ingest_ns = item
+        if not 0 <= ce_index < len(ce_queues):
+            raise FeedMismatchError(
+                f"delivery targets CE index {ce_index}; the feed declares "
+                f"{len(ce_queues)} CEs"
+            )
+        await ce_queues[ce_index].put((update, ingest_ns))
+    for queue in ce_queues:
+        await queue.close()
+
+
+async def ce_replica(
+    ce_index: int,
+    evaluator,
+    stamps: tuple[tuple[float, int], ...],
+    updates: BoundedQueue,
+    alerts: BoundedQueue,
+    *,
+    pace: Pace | None = None,
+) -> None:
+    """Evaluate one CE's update stream; emit stamped alerts.
+
+    ``evaluator`` is a fresh :class:`ConditionEvaluator` (passed in, not
+    constructed, so tests can inspect it afterwards).  Raising more or
+    fewer alerts than the feed recorded stamps for is a conformance
+    failure — it means the deliveries do not reproduce the run.
+    """
+    position = 0
+    while True:
+        item = await updates.get()
+        if item is CLOSE:
+            break
+        update, ingest_ns = item
+        if pace is not None:
+            await pace(ce_index, update)
+        alert = evaluator.ingest(update)
+        if alert is not None:
+            if position >= len(stamps):
+                raise FeedMismatchError(
+                    f"CE{ce_index + 1} raised alert #{position + 1} but the "
+                    f"feed recorded only {len(stamps)} arrival stamps"
+                )
+            await alerts.put(
+                StampedAlert(ce_index, position, stamps[position], alert, ingest_ns)
+            )
+            position += 1
+    if position != len(stamps):
+        raise FeedMismatchError(
+            f"CE{ce_index + 1} drained after {position} alerts; the feed "
+            f"recorded {len(stamps)}"
+        )
+    await alerts.close()
+
+
+async def ad_merge(
+    algorithm,
+    stamps: tuple[tuple[tuple[float, int], ...], ...],
+    alerts: BoundedQueue,
+    *,
+    clock: Callable[[], int] = time.monotonic_ns,
+) -> MergeResult:
+    """Re-establish arrival order and filter online through the AD.
+
+    The total arrival order is known up front — it is the sorted union
+    of the feed's stamps (``(time, global_index)`` is unique) — but
+    alerts reach the shared queue in whatever order the CE tasks ran.
+    A reorder buffer holds early arrivals; alerts are released to the
+    AD exactly in stamp order, so the displayed sequence is independent
+    of task scheduling.  Consumes one CLOSE per CE, then verifies the
+    order was fully released.
+    """
+    order = [
+        (ce_index, position)
+        for _, ce_index, position in sorted(
+            (stamp, ce_index, position)
+            for ce_index, per_ce in enumerate(stamps)
+            for position, stamp in enumerate(per_ce)
+        )
+    ]
+    result = MergeResult()
+    buffer: dict[tuple[int, int], StampedAlert] = {}
+    released = 0
+    closes = 0
+    while closes < len(stamps):
+        item = await alerts.get()
+        if item is CLOSE:
+            closes += 1
+            continue
+        buffer[(item.ce_index, item.position)] = item
+        if len(buffer) > result.peak_reorder:
+            result.peak_reorder = len(buffer)
+        while released < len(order) and order[released] in buffer:
+            stamped = buffer.pop(order[released])
+            released += 1
+            result.arrivals.append(stamped.alert)
+            if algorithm.offer(stamped.alert):
+                result.display_latencies_ns.append(clock() - stamped.ingest_ns)
+    if released != len(order) or buffer:
+        raise FeedMismatchError(
+            f"merge drained after releasing {released}/{len(order)} stamped "
+            f"alerts ({len(buffer)} stranded in the reorder buffer)"
+        )
+    return result

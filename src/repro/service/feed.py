@@ -1,0 +1,243 @@
+"""Recorded update feeds — the input artifact every runtime replays.
+
+A feed is what actually *happened* on the front of one monitored run:
+the per-CE update delivery streams (post loss, post reordering, post
+crash — exactly ``U_i``) plus, per CE, the back-link arrival stamps
+``(arrival_time, global_index)`` of each alert that CE will raise.  The
+stamps are the scheduler's contribution to a run's semantics: merged
+into a total order they reproduce the kernel's AD arrival interleaving,
+so a runtime that evaluates the deliveries and merges by stamp must
+display byte-for-byte the same alert sequence as the simulator.
+
+Feeds are recorded from a :class:`~repro.engine.spec.TrialSpec` (which
+fully determines them), persist as JSONL (``repro.feed/1``), and stream
+over sockets as length-prefixed :mod:`repro.core.wire` frames carrying
+canonical JSON messages::
+
+    {"type": "hello", "schema": "repro.feed/1", "spec": ..., "stamps": ...}
+    {"type": "delivery", "ce": 0, "update": {"var": "x", "seqno": 1, ...}}
+    ...
+    {"type": "end"}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.serialization import update_from_json, update_to_json
+from repro.core.update import Update
+from repro.core.wire import encode_frame
+
+__all__ = [
+    "FEED_SCHEMA",
+    "FeedSchemaError",
+    "UpdateFeed",
+    "feed_from_run",
+    "record_feed",
+    "load_feed",
+    "loads_feed",
+    "feed_messages",
+    "encode_message",
+    "decode_message",
+]
+
+FEED_SCHEMA = "repro.feed/1"
+
+
+class FeedSchemaError(ValueError):
+    """Raised when a feed file/stream does not match the supported schema."""
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """One protocol message as a length-prefixed canonical-JSON frame."""
+    return encode_frame(
+        json.dumps(message, sort_keys=True, separators=(",", ":")).encode()
+    )
+
+
+def decode_message(payload: bytes) -> dict[str, Any]:
+    """Inverse of :func:`encode_message` (for one decoded frame payload)."""
+    message = json.loads(payload.decode())
+    if not isinstance(message, dict) or "type" not in message:
+        raise FeedSchemaError(f"malformed service message: {payload[:80]!r}")
+    return message
+
+
+@dataclass(frozen=True)
+class UpdateFeed:
+    """One recorded run's deliveries and arrival stamps."""
+
+    #: The canonical :class:`~repro.engine.spec.TrialSpec` dict that
+    #: produced (and deterministically reproduces) this feed.
+    spec: dict[str, Any]
+    #: ``(ce_index, update)`` in dispatch order; the subsequence for one
+    #: CE is exactly its ``U_i`` in delivery order.
+    deliveries: tuple[tuple[int, Update], ...]
+    #: Per CE, one ``(arrival_time, global_index)`` stamp per alert the
+    #: CE raises, in raise order (back links are FIFO).
+    stamps: tuple[tuple[tuple[float, int], ...], ...]
+
+    @property
+    def replication(self) -> int:
+        return len(self.stamps)
+
+    @property
+    def total_alerts(self) -> int:
+        return sum(len(per_ce) for per_ce in self.stamps)
+
+    def per_ce(self) -> tuple[tuple[Update, ...], ...]:
+        """The deliveries regrouped into per-CE streams (each CE's U_i)."""
+        streams: list[list[Update]] = [[] for _ in range(self.replication)]
+        for ce_index, update in self.deliveries:
+            streams[ce_index].append(update)
+        return tuple(tuple(stream) for stream in streams)
+
+    def make_spec(self, **overrides: Any):
+        """The feed's TrialSpec, optionally with fields overridden."""
+        from repro.engine.spec import TrialSpec
+
+        return TrialSpec(**{**self.spec, **overrides})
+
+    def condition(self):
+        """The monitored condition, re-resolved from the spec."""
+        return self.make_spec().resolve_scenario().make_condition()
+
+    # -- persistence ---------------------------------------------------------
+    def to_jsonl(self) -> str:
+        lines = [
+            json.dumps(
+                {"schema": FEED_SCHEMA, "record": "header", "spec": self.spec},
+                sort_keys=True, separators=(",", ":"),
+            )
+        ]
+        for ce_index, per_ce in enumerate(self.stamps):
+            lines.append(json.dumps(
+                {
+                    "record": "stamps",
+                    "ce": ce_index,
+                    "stamps": [[time, seq] for time, seq in per_ce],
+                },
+                sort_keys=True, separators=(",", ":"),
+            ))
+        for ce_index, update in self.deliveries:
+            lines.append(json.dumps(
+                {
+                    "record": "delivery",
+                    "ce": ce_index,
+                    "update": update_to_json(update),
+                },
+                sort_keys=True, separators=(",", ":"),
+            ))
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+def feed_from_run(spec: dict[str, Any], run) -> UpdateFeed:
+    """Project a completed :class:`RunResult` onto its update feed.
+
+    Dispatch order interleaves the per-CE delivery streams round-robin —
+    the cross-CE interleaving is semantically irrelevant (CEs share no
+    state until the AD), but a deterministic choice keeps recorded feeds
+    reproducible byte for byte.
+    """
+    stamps = run.arrival_stamps()
+    for ce_index, per_ce in enumerate(stamps):
+        if len(per_ce) != len(run.ce_alerts[ce_index]):
+            raise ValueError(
+                f"CE{ce_index + 1} raised {len(run.ce_alerts[ce_index])} "
+                f"alerts but {len(per_ce)} reached the AD — a feed needs "
+                "every alert delivered (run the workload to quiescence)"
+            )
+    deliveries: list[tuple[int, Update]] = []
+    streams = run.received
+    for position in range(max((len(s) for s in streams), default=0)):
+        for ce_index, stream in enumerate(streams):
+            if position < len(stream):
+                deliveries.append((ce_index, stream[position]))
+    return UpdateFeed(spec=spec, deliveries=tuple(deliveries), stamps=stamps)
+
+
+def record_feed(spec) -> UpdateFeed:
+    """Execute a :class:`~repro.engine.spec.TrialSpec`; record its feed."""
+    import json as _json
+    from dataclasses import asdict
+
+    from repro.workloads.scenarios import run_scenario
+
+    run = run_scenario(
+        spec.resolve_scenario(),
+        spec.algorithm,
+        spec.seed,
+        n_updates=spec.n_updates,
+        replication=spec.replication,
+        faults=spec.faults,
+        kernel=spec.kernel,
+        membership=spec.membership,
+    )
+    canonical = _json.loads(_json.dumps(asdict(spec), sort_keys=True))
+    return feed_from_run(canonical, run)
+
+
+def loads_feed(text: str) -> UpdateFeed:
+    """Parse the JSONL form, validating the schema version."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise FeedSchemaError("empty feed")
+    header = json.loads(lines[0])
+    if header.get("record") != "header":
+        raise FeedSchemaError("first line is not a feed header")
+    if header.get("schema") != FEED_SCHEMA:
+        raise FeedSchemaError(
+            f"unsupported feed schema {header.get('schema')!r} "
+            f"(supported: {FEED_SCHEMA!r})"
+        )
+    stamps: dict[int, tuple[tuple[float, int], ...]] = {}
+    deliveries: list[tuple[int, Update]] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        obj = json.loads(line)
+        record = obj.get("record")
+        if record == "stamps":
+            stamps[int(obj["ce"])] = tuple(
+                (float(time), int(seq)) for time, seq in obj["stamps"]
+            )
+        elif record == "delivery":
+            deliveries.append((int(obj["ce"]), update_from_json(obj["update"])))
+        else:
+            raise FeedSchemaError(f"line {lineno}: unknown record {record!r}")
+    if sorted(stamps) != list(range(len(stamps))):
+        raise FeedSchemaError(f"stamp records cover CEs {sorted(stamps)}")
+    return UpdateFeed(
+        spec=header["spec"],
+        deliveries=tuple(deliveries),
+        stamps=tuple(stamps[i] for i in range(len(stamps))),
+    )
+
+
+def load_feed(path: str | Path) -> UpdateFeed:
+    return loads_feed(Path(path).read_text())
+
+
+def feed_messages(feed: UpdateFeed) -> Iterator[dict[str, Any]]:
+    """The protocol messages a client streams to serve this feed."""
+    yield {
+        "type": "hello",
+        "schema": FEED_SCHEMA,
+        "spec": feed.spec,
+        "stamps": [
+            [[time, seq] for time, seq in per_ce] for per_ce in feed.stamps
+        ],
+    }
+    for ce_index, update in feed.deliveries:
+        yield {
+            "type": "delivery",
+            "ce": ce_index,
+            "update": update_to_json(update),
+        }
+    yield {"type": "end"}

@@ -1,0 +1,139 @@
+"""Bounded inter-stage queues with backpressure accounting.
+
+Every hop in the service pipeline (socket reader → router → CE replicas
+→ AD merge) crosses one :class:`BoundedQueue`.  The bound is the
+load-leveling mechanism: a slow downstream stage fills its queue, the
+``put`` side suspends, and the stall propagates hop by hop back to the
+socket — where the OS's TCP flow control finally slows the feeding
+client.  No stage ever buffers unboundedly and nothing is dropped.
+
+On top of ``asyncio.Queue`` this adds:
+
+* a **CLOSE sentinel** protocol — the producer's end-of-stream marker,
+  forwarded stage by stage so the pipeline drains in order (every item
+  enqueued before the close is consumed before the consumer exits);
+* **high-water throttling observability** — when occupancy crosses the
+  high-water mark the queue emits ``service/throttle-on/<name>`` through
+  the run's tracer (and ``throttle-off`` when it falls back below the
+  low-water mark), so tests and the benchmark can see backpressure
+  engage without measuring timings;
+* per-queue :class:`QueueStats` (puts, gets, peak occupancy, throttle
+  episodes) — merged into the service's counters at drain time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["CLOSE", "QueueStats", "BoundedQueue"]
+
+
+class _Close:
+    """End-of-stream sentinel; identity-compared, never data."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<CLOSE>"
+
+
+#: The unique end-of-stream marker producers enqueue when done.
+CLOSE: Any = _Close()
+
+
+@dataclass
+class QueueStats:
+    """Lifetime accounting for one queue (CLOSE sentinels excluded)."""
+
+    puts: int = 0
+    gets: int = 0
+    peak: int = 0
+    #: Number of times occupancy rose to the high-water mark.
+    throttle_episodes: int = 0
+    #: Number of ``put`` calls that had to suspend on a full queue.
+    blocked_puts: int = 0
+
+    def as_counters(self, name: str) -> dict[str, int]:
+        """Flat ``service/<kind>/<name>`` counters, zeros elided."""
+        counters = {
+            f"service/put/{name}": self.puts,
+            f"service/get/{name}": self.gets,
+            f"service/peak/{name}": self.peak,
+            f"service/throttle-on/{name}": self.throttle_episodes,
+            f"service/blocked-put/{name}": self.blocked_puts,
+        }
+        return {key: value for key, value in counters.items() if value}
+
+
+class BoundedQueue:
+    """An ``asyncio.Queue`` with a hard capacity and throttle telemetry.
+
+    ``high_water`` defaults to the capacity: throttling is then reported
+    exactly when a ``put`` finds the queue full.  A lower mark reports
+    earlier — the service uses ~¾ capacity so the benchmark can observe
+    load-leveling before the hard stall.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        *,
+        high_water: int | None = None,
+        tracer: Any | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.high_water = capacity if high_water is None else high_water
+        if not 1 <= self.high_water <= capacity:
+            raise ValueError(
+                f"high_water must be in [1, {capacity}], got {self.high_water}"
+            )
+        # Hysteresis: stop reporting only once clearly below the mark.
+        self.low_water = max(0, self.high_water // 2)
+        self.tracer = tracer
+        self.stats = QueueStats()
+        self._queue: asyncio.Queue[Any] = asyncio.Queue(maxsize=capacity)
+        self._throttled = False
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def throttled(self) -> bool:
+        """True while occupancy is at/above high-water (with hysteresis)."""
+        return self._throttled
+
+    def _emit(self, kind: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(0.0, "service", kind, self.name)
+
+    async def put(self, item: Any) -> None:
+        """Enqueue, suspending while the queue is full (backpressure)."""
+        if item is not CLOSE:
+            if self._queue.full():
+                self.stats.blocked_puts += 1
+            self.stats.puts += 1
+        await self._queue.put(item)
+        size = self._queue.qsize()
+        if size > self.stats.peak:
+            self.stats.peak = size
+        if size >= self.high_water and not self._throttled:
+            self._throttled = True
+            self.stats.throttle_episodes += 1
+            self._emit("throttle-on")
+
+    async def get(self) -> Any:
+        item = await self._queue.get()
+        if item is not CLOSE:
+            self.stats.gets += 1
+        if self._throttled and self._queue.qsize() <= self.low_water:
+            self._throttled = False
+            self._emit("throttle-off")
+        return item
+
+    async def close(self) -> None:
+        """Enqueue the end-of-stream sentinel (still subject to the bound)."""
+        await self._queue.put(CLOSE)

@@ -1,0 +1,369 @@
+"""The online monitoring service: sockets, tasks, queues, drain.
+
+:class:`MonitorService` listens on a local TCP socket and speaks the
+framed feed protocol (:mod:`repro.service.feed`).  Each connection gets
+its own pipeline::
+
+    socket reader ──ingest──▶ router ──per-CE──▶ CE replicas
+                                                     │ (shared, stamped)
+                                 result frame ◀── AD merge
+
+Every hop is a :class:`~repro.service.queues.BoundedQueue`; when a
+downstream stage lags, ``put`` suspends and the stall reaches the socket
+reader, which simply stops reading — TCP flow control then slows the
+client.  That is the whole load-leveling story: bounded memory, nothing
+dropped, producers paced to the slowest consumer.
+
+Shutdown is a graceful drain, not an abort: the client's ``end`` message
+closes the ingest queue, the CLOSE sentinel propagates stage by stage
+(router → CE queues → shared alert queue), each stage exits only after
+consuming everything enqueued before its close, and the handler replies
+with a single ``result`` frame — displayed alerts, verdicts, counters,
+latency percentiles — once the merge task has released every stamped
+alert.  :meth:`MonitorService.stop` likewise waits for in-flight
+connections before closing the listener.
+
+:class:`AsyncioServiceRuntime` wraps the whole client/server round trip
+behind the :class:`~repro.service.runtime.Runtime` interface so the
+conformance harness can diff it against the simulator kernels.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.serialization import alert_canonical_line, alert_from_json
+from repro.core.wire import FrameDecoder
+from repro.observability.tracer import CountersTracer
+from repro.service.consumers import Pace, ad_merge, ce_replica, route_updates
+from repro.service.feed import (
+    FEED_SCHEMA,
+    FeedSchemaError,
+    UpdateFeed,
+    decode_message,
+    encode_message,
+    feed_messages,
+)
+from repro.service.queues import BoundedQueue
+from repro.service.runtime import FeedResult
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceError",
+    "MonitorService",
+    "execute_feed",
+    "AsyncioServiceRuntime",
+]
+
+_READ_CHUNK = 1 << 16
+
+
+class ServiceError(RuntimeError):
+    """The service reported a failure for this feed."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Listener address and pipeline sizing."""
+
+    host: str = "127.0.0.1"
+    #: 0 = ephemeral; the bound port is on ``MonitorService.port``.
+    port: int = 0
+    #: Capacity of every inter-stage queue.
+    queue_capacity: int = 64
+    #: Throttle-reporting mark; None = ¾ of capacity (so load-leveling
+    #: is observable before the hard stall).
+    high_water: int | None = None
+
+    def effective_high_water(self) -> int:
+        if self.high_water is not None:
+            return self.high_water
+        return max(1, (self.queue_capacity * 3) // 4)
+
+
+class MonitorService:
+    """One listening service instance (use as ``await start()`` … ``stop()``)."""
+
+    def __init__(
+        self, config: ServiceConfig | None = None, *, pace: Pace | None = None
+    ) -> None:
+        self.config = config or ServiceConfig()
+        #: Test hook threaded through to every CE replica.
+        self.pace = pace
+        #: Server-lifetime counter aggregate (per-connection tracers merge
+        #: in at drain).
+        self.counters = CountersTracer()
+        self.connections_handled = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+
+    async def stop(self) -> None:
+        """Graceful drain: finish in-flight connections, then stop listening."""
+        if self._server is None:
+            return
+        self._server.close()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        await self._server.wait_closed()
+        self._server = None
+
+    async def serve_until(self, *, once: bool = False) -> None:
+        """Run until cancelled, or (``once``) until one connection finishes."""
+        if self._server is None:
+            await self.start()
+        target = self.connections_handled + 1
+        try:
+            while True:
+                await asyncio.sleep(0.05)
+                if once and self.connections_handled >= target and not self._handlers:
+                    return
+        finally:
+            await self.stop()
+
+    # -- per-connection pipeline ---------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            try:
+                result = await self._run_pipeline(reader)
+                writer.write(encode_message({"type": "result", **result}))
+            except Exception as exc:  # reported to the client, not fatal
+                writer.write(
+                    encode_message({"type": "error", "error": _describe(exc)})
+                )
+            await writer.drain()
+        finally:
+            self.connections_handled += 1
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _run_pipeline(self, reader: asyncio.StreamReader) -> dict[str, Any]:
+        from repro.displayers.registry import make_ad
+        from repro.core.evaluator import ConditionEvaluator
+        from repro.props.report import evaluate_run
+
+        decoder = FrameDecoder()
+        pending: list[dict[str, Any]] = []
+
+        async def next_message() -> dict[str, Any]:
+            while not pending:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    decoder.close()  # raises FrameError if mid-frame
+                    raise FeedSchemaError(
+                        "connection closed before the feed's end message"
+                    )
+                pending.extend(map(decode_message, decoder.feed(data)))
+            return pending.pop(0)
+
+        hello = await next_message()
+        if hello["type"] != "hello":
+            raise FeedSchemaError(f"expected hello, got {hello['type']!r}")
+        if hello.get("schema") != FEED_SCHEMA:
+            raise FeedSchemaError(
+                f"unsupported feed schema {hello.get('schema')!r}"
+            )
+        spec = hello["spec"]
+        stamps = tuple(
+            tuple((float(t), int(i)) for t, i in per_ce)
+            for per_ce in hello["stamps"]
+        )
+
+        from repro.engine.spec import TrialSpec
+
+        condition = TrialSpec(**spec).resolve_scenario().make_condition()
+        algorithm = make_ad(spec["algorithm"], condition)
+        from repro.core.update import Update
+
+        tracer = CountersTracer()
+        capacity = self.config.queue_capacity
+        high_water = self.config.effective_high_water()
+
+        def queue(name: str) -> BoundedQueue:
+            return BoundedQueue(
+                name, capacity, high_water=high_water, tracer=tracer
+            )
+
+        ingest = queue("ingest")
+        ce_queues = [queue(f"ce{i + 1}") for i in range(len(stamps))]
+        alert_queue = queue("alerts")
+        evaluators = [
+            ConditionEvaluator(condition, source=f"CE{i + 1}")
+            for i in range(len(stamps))
+        ]
+
+        async with asyncio.TaskGroup() as group:
+            group.create_task(route_updates(ingest, ce_queues))
+            for index, evaluator in enumerate(evaluators):
+                group.create_task(
+                    ce_replica(
+                        index,
+                        evaluator,
+                        stamps[index],
+                        ce_queues[index],
+                        alert_queue,
+                        pace=self.pace,
+                    )
+                )
+            merge_task = group.create_task(
+                ad_merge(algorithm, stamps, alert_queue)
+            )
+            while True:
+                message = await next_message()
+                if message["type"] == "end":
+                    await ingest.close()
+                    break
+                if message["type"] != "delivery":
+                    raise FeedSchemaError(
+                        f"unexpected message {message['type']!r} mid-feed"
+                    )
+                update = message["update"]
+                await ingest.put(
+                    (
+                        int(message["ce"]),
+                        Update(
+                            str(update["var"]),
+                            int(update["seqno"]),
+                            float(update["value"]),
+                        ),
+                        time.monotonic_ns(),
+                    )
+                )
+
+        merge = merge_task.result()
+        displayed = algorithm.output
+        report = evaluate_run(
+            condition,
+            tuple(evaluator.received for evaluator in evaluators),
+            displayed,
+        )
+        for stage_queue in [ingest, *ce_queues, alert_queue]:
+            tracer.merge(stage_queue.stats.as_counters(stage_queue.name))
+        tracer.emit(0.0, "service", "drain", "pipeline")
+        self.counters.merge(tracer)
+        return {
+            "displayed": [alert_canonical_line(a) for a in displayed],
+            "verdicts": report.summary,
+            "counters": tracer.as_dict(),
+            "latency_ms": _latency_percentiles(merge.display_latencies_ns),
+            "peak_reorder": merge.peak_reorder,
+        }
+
+
+def _describe(exc: BaseException) -> str:
+    """Flatten TaskGroup exception groups to their first leaf message."""
+    if isinstance(exc, BaseExceptionGroup):
+        leaf = exc.exceptions[0]
+        return _describe(leaf)
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _latency_percentiles(latencies_ns: list[int]) -> dict[str, float]:
+    if not latencies_ns:
+        return {}
+    from repro.accel import percentile
+
+    millis = [ns / 1e6 for ns in latencies_ns]
+    return {
+        "p50": percentile(millis, 50.0),
+        "p99": percentile(millis, 99.0),
+        "max": max(millis),
+    }
+
+
+# -- client ------------------------------------------------------------------
+
+async def execute_feed(
+    feed: UpdateFeed, host: str, port: int, *, runtime_name: str = "asyncio"
+) -> FeedResult:
+    """Stream ``feed`` to a running service; await its result frame."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for message in feed_messages(feed):
+            writer.write(encode_message(message))
+            await writer.drain()
+        decoder = FrameDecoder()
+        payloads: list[bytes] = []
+        while not payloads:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                decoder.close()
+                raise ServiceError("service closed the connection silently")
+            payloads.extend(decoder.feed(data))
+        reply = decode_message(payloads[0])
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+    if reply["type"] == "error":
+        raise ServiceError(reply["error"])
+    if reply["type"] != "result":
+        raise ServiceError(f"unexpected reply {reply['type']!r}")
+    return FeedResult(
+        runtime=runtime_name,
+        displayed=tuple(
+            alert_from_json(json.loads(line)) for line in reply["displayed"]
+        ),
+        verdicts=dict(reply["verdicts"]),
+        counters=dict(reply.get("counters", {})),
+        latency_ms=dict(reply.get("latency_ms", {})),
+    )
+
+
+class AsyncioServiceRuntime:
+    """The full socket round trip as a :class:`Runtime`.
+
+    Starts an ephemeral-port service, streams the feed through it as a
+    client, and returns the service's result — so conformance checks
+    exercise the real reader/router/replica/merge/drain path, not a
+    shortcut.
+    """
+
+    def __init__(
+        self, config: ServiceConfig | None = None, *, pace: Pace | None = None
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.pace = pace
+        self.name = "asyncio"
+
+    def execute(self, feed: UpdateFeed) -> FeedResult:
+        return asyncio.run(self.execute_async(feed))
+
+    async def execute_async(self, feed: UpdateFeed) -> FeedResult:
+        service = MonitorService(self.config, pace=self.pace)
+        await service.start()
+        try:
+            return await execute_feed(feed, service.host, service.port)
+        finally:
+            await service.stop()

@@ -1,0 +1,296 @@
+"""Unit tests for the service runtime: feeds, queues, drain, throttling."""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.core.update import Update
+from repro.core.wire import iter_frames
+from repro.engine.spec import TrialSpec
+from repro.service import (
+    CLOSE,
+    AsyncioServiceRuntime,
+    BoundedQueue,
+    DirectRuntime,
+    FeedMismatchError,
+    KernelRuntime,
+    MonitorService,
+    ServiceConfig,
+    check_conformance,
+    feed_messages,
+    loads_feed,
+    record_feed,
+)
+from repro.service.feed import FeedSchemaError, decode_message, encode_message
+from repro.service.server import execute_feed
+
+SPEC = TrialSpec(
+    matrix="single", row="aggressive", algorithm="AD-3", seed=7, n_updates=25
+)
+
+
+@pytest.fixture(scope="module")
+def feed():
+    return record_feed(SPEC)
+
+
+# -- feed artifact ------------------------------------------------------------
+
+class TestFeed:
+    def test_jsonl_round_trip(self, feed):
+        assert loads_feed(feed.to_jsonl()) == feed
+
+    def test_round_trip_is_fixpoint(self, feed):
+        assert loads_feed(feed.to_jsonl()).to_jsonl() == feed.to_jsonl()
+
+    def test_per_ce_regroups_deliveries(self, feed):
+        streams = feed.per_ce()
+        assert len(streams) == feed.replication
+        assert sum(len(s) for s in streams) == len(feed.deliveries)
+        # Round-robin interleave preserves each CE's delivery order.
+        for ce_index, stream in enumerate(streams):
+            assert [
+                u for ce, u in feed.deliveries if ce == ce_index
+            ] == list(stream)
+
+    def test_schema_version_enforced(self, feed):
+        tampered = feed.to_jsonl().replace("repro.feed/1", "repro.feed/9")
+        with pytest.raises(FeedSchemaError, match="unsupported feed schema"):
+            loads_feed(tampered)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FeedSchemaError, match="empty"):
+            loads_feed("")
+
+    def test_stamps_count_alerts(self, feed):
+        assert feed.total_alerts == sum(len(s) for s in feed.stamps)
+        assert feed.total_alerts > 0
+
+    def test_message_frame_round_trip(self, feed):
+        stream = b"".join(encode_message(m) for m in feed_messages(feed))
+        messages = [decode_message(p) for p in iter_frames(stream)]
+        assert messages[0]["type"] == "hello"
+        assert messages[-1]["type"] == "end"
+        assert len(messages) == len(feed.deliveries) + 2
+
+    def test_recording_is_deterministic(self, feed):
+        assert record_feed(SPEC) == feed
+
+
+# -- offline runtimes ---------------------------------------------------------
+
+class TestOfflineRuntimes:
+    def test_direct_matches_both_kernels(self, feed):
+        report = check_conformance(
+            feed, [KernelRuntime("object"), KernelRuntime("array"), DirectRuntime()]
+        )
+        assert report.identical
+
+    def test_kernel_runtime_rejects_tampered_deliveries(self, feed):
+        # Update equality is (varname, seqno) — the stream point's
+        # identity — so the tamper must move the seqno to be observable.
+        first_ce, first_update = feed.deliveries[0]
+        tampered = dataclasses.replace(
+            feed,
+            deliveries=(
+                (first_ce, Update(first_update.varname,
+                                  first_update.seqno + 1000,
+                                  first_update.value)),
+                *feed.deliveries[1:],
+            ),
+        )
+        with pytest.raises(FeedMismatchError, match="different"):
+            KernelRuntime("array").execute(tampered)
+
+    def test_direct_runtime_rejects_tampered_stamps(self, feed):
+        # Dropping one stamp desynchronizes alerts from stamps.
+        tampered = dataclasses.replace(
+            feed, stamps=(feed.stamps[0][:-1], *feed.stamps[1:])
+        )
+        with pytest.raises(FeedMismatchError):
+            DirectRuntime().execute(tampered)
+
+    def test_displayed_bytes_are_framed_canonical_lines(self, feed):
+        result = DirectRuntime().execute(feed)
+        payloads = list(iter_frames(result.displayed_bytes()))
+        assert len(payloads) == len(result.displayed)
+        import json
+
+        first = json.loads(payloads[0])
+        assert set(first) == {"condname", "source", "histories"}
+
+
+# -- asyncio service ----------------------------------------------------------
+
+class TestAsyncioService:
+    def test_service_matches_direct(self, feed):
+        service = AsyncioServiceRuntime().execute(feed)
+        direct = DirectRuntime().execute(feed)
+        assert service.displayed_bytes() == direct.displayed_bytes()
+        assert service.verdicts == direct.verdicts
+
+    def test_graceful_drain_flushes_all_inflight_alerts(self, feed):
+        # Tiny queues + an artificially slow CE: at the moment the client's
+        # end message arrives, alerts are still queued at every stage.  The
+        # drain must flush them all — the displayed count equals the
+        # reference run's, nothing is cut off at shutdown.
+        async def slow(ce_index, update):
+            await asyncio.sleep(0.002)
+
+        runtime = AsyncioServiceRuntime(
+            ServiceConfig(queue_capacity=2), pace=slow
+        )
+        result = runtime.execute(feed)
+        reference = DirectRuntime().execute(feed)
+        assert len(result.displayed) == len(reference.displayed)
+        assert result.displayed_bytes() == reference.displayed_bytes()
+
+    def test_slow_consumer_activates_throttling(self, feed):
+        # With capacity 4 and ~50 deliveries racing a paced CE, the ingest
+        # or per-CE queues must hit their high-water mark and report it.
+        async def slow(ce_index, update):
+            await asyncio.sleep(0.001)
+
+        runtime = AsyncioServiceRuntime(
+            ServiceConfig(queue_capacity=4), pace=slow
+        )
+        result = runtime.execute(feed)
+        throttles = {
+            key: count
+            for key, count in result.counters.items()
+            if key.startswith("service/throttle-on/")
+        }
+        assert throttles, f"no throttling observed in {sorted(result.counters)}"
+        blocked = sum(
+            count
+            for key, count in result.counters.items()
+            if key.startswith("service/blocked-put/")
+        )
+        assert blocked > 0
+
+    def test_unthrottled_run_reports_no_backpressure(self, feed):
+        result = AsyncioServiceRuntime(
+            ServiceConfig(queue_capacity=4096)
+        ).execute(feed)
+        assert not any(
+            key.startswith("service/throttle-on/") for key in result.counters
+        )
+
+    def test_latency_percentiles_reported(self, feed):
+        result = AsyncioServiceRuntime().execute(feed)
+        assert set(result.latency_ms) == {"p50", "p99", "max"}
+        assert 0 < result.latency_ms["p50"] <= result.latency_ms["p99"]
+        assert result.latency_ms["p99"] <= result.latency_ms["max"]
+
+    def test_counters_cover_every_stage(self, feed):
+        result = AsyncioServiceRuntime().execute(feed)
+        gets = {
+            key.rsplit("/", 1)[1]
+            for key in result.counters
+            if key.startswith("service/get/")
+        }
+        assert {"ingest", "alerts"} <= gets
+        assert any(name.startswith("ce") for name in gets)
+        assert result.counters["service/get/ingest"] == len(feed.deliveries)
+        assert result.counters["service/get/alerts"] == feed.total_alerts
+
+    def test_server_aggregates_counters_across_connections(self, feed):
+        async def run():
+            service = MonitorService(ServiceConfig())
+            await service.start()
+            try:
+                for _ in range(2):
+                    await execute_feed(feed, service.host, service.port)
+            finally:
+                await service.stop()
+            return service
+
+        service = asyncio.run(run())
+        assert service.connections_handled == 2
+        assert (
+            service.counters.node_total("service", "get", "ingest")
+            == 2 * len(feed.deliveries)
+        )
+
+    def test_tampered_stream_reported_as_error(self, feed):
+        from repro.service import ServiceError
+
+        bad = dataclasses.replace(
+            feed, stamps=(feed.stamps[0][:-1], *feed.stamps[1:])
+        )
+        with pytest.raises(ServiceError, match="FeedMismatchError"):
+            AsyncioServiceRuntime().execute(bad)
+
+
+# -- bounded queue ------------------------------------------------------------
+
+class TestBoundedQueue:
+    def run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_put_get_fifo(self):
+        async def scenario():
+            queue = BoundedQueue("q", 8)
+            for i in range(5):
+                await queue.put(i)
+            return [await queue.get() for _ in range(5)]
+
+        assert self.run(scenario()) == [0, 1, 2, 3, 4]
+
+    def test_put_blocks_at_capacity(self):
+        async def scenario():
+            queue = BoundedQueue("q", 2)
+            await queue.put(1)
+            await queue.put(2)
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(queue.put(3), timeout=0.05)
+            return queue.stats.blocked_puts
+
+        assert self.run(scenario()) == 1
+
+    def test_throttle_episode_with_hysteresis(self):
+        async def scenario():
+            queue = BoundedQueue("q", 4, high_water=4)
+            for i in range(4):
+                await queue.put(i)
+            assert queue.throttled
+            await queue.get()  # 3 left — still above low-water (2)
+            assert queue.throttled
+            await queue.get()  # 2 left — at low-water, clears
+            assert not queue.throttled
+            for _ in range(2):
+                await queue.get()
+            await queue.put("again")
+            return queue.stats.throttle_episodes
+
+        # Dipping below low-water then refilling opens a second episode
+        # only when high-water is crossed again — one put of one item
+        # does not re-trigger.
+        assert self.run(scenario()) == 1
+
+    def test_close_sentinel_not_counted(self):
+        async def scenario():
+            queue = BoundedQueue("q", 4)
+            await queue.put("item")
+            await queue.close()
+            first = await queue.get()
+            second = await queue.get()
+            return first, second, queue.stats
+
+        first, second, stats = self.run(scenario())
+        assert first == "item"
+        assert second is CLOSE
+        assert (stats.puts, stats.gets) == (1, 1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedQueue("q", 0)
+        with pytest.raises(ValueError):
+            BoundedQueue("q", 4, high_water=5)
+
+    def test_stats_counters_elide_zeros(self):
+        stats = BoundedQueue("q", 4).stats
+        assert stats.as_counters("q") == {}

@@ -121,3 +121,106 @@ class TestChecksumAD1:
         ad = ChecksumAD1()
         ad.offer(alert_deg1(1))
         assert ad.fresh().offer(alert_deg1(1)) is True
+
+
+# -- length-prefixed frame codec ---------------------------------------------
+
+from repro.core.wire import (  # noqa: E402
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    iter_frames,
+)
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        payloads = [b"hello", b"", b"x" * 1000]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        assert list(iter_frames(stream)) == payloads
+
+    def test_zero_length_payload_is_legal(self):
+        frame = encode_frame(b"")
+        assert frame == b"\x00\x00\x00\x00"
+        assert list(iter_frames(frame)) == [b""]
+
+    def test_byte_at_a_time_decode(self):
+        payloads = [b"abc", b"", b"defgh"]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i:i + 1]))
+        decoder.close()
+        assert out == payloads
+        assert decoder.frames_decoded == 3
+        assert decoder.buffered == 0
+
+    def test_multiple_frames_in_one_chunk(self):
+        stream = encode_frame(b"a") + encode_frame(b"bb") + encode_frame(b"ccc")
+        decoder = FrameDecoder()
+        assert decoder.feed(stream) == [b"a", b"bb", b"ccc"]
+        decoder.close()
+
+    def test_frame_split_across_chunks(self):
+        frame = encode_frame(b"payload")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:6]) == []
+        assert decoder.buffered == 6
+        assert decoder.feed(frame[6:]) == [b"payload"]
+
+    def test_truncated_stream_raises_on_close(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"whole") + encode_frame(b"cut")[:5])
+        with pytest.raises(FrameError, match="truncated mid-frame"):
+            decoder.close()
+
+    def test_truncated_header_raises_on_close(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\x00\x00")
+        with pytest.raises(FrameError, match="truncated"):
+            decoder.close()
+
+    def test_iter_frames_rejects_truncation(self):
+        with pytest.raises(FrameError):
+            list(iter_frames(encode_frame(b"ok")[:-1]))
+
+    def test_oversized_payload_rejected_at_encode(self):
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame(b"x" * 11, max_bytes=10)
+
+    def test_oversized_declared_length_rejected_at_decode(self):
+        # A corrupt/hostile header claiming a giant frame must poison the
+        # stream immediately, not make the decoder buffer gigabytes.
+        import struct
+
+        decoder = FrameDecoder(max_bytes=10)
+        with pytest.raises(FrameError, match="ceiling"):
+            decoder.feed(struct.pack(">I", 11))
+
+    def test_default_ceiling_applies(self):
+        import struct
+
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_payload_at_ceiling_accepted(self):
+        payload = b"y" * 10
+        assert list(
+            iter_frames(encode_frame(payload, max_bytes=10), max_bytes=10)
+        ) == [payload]
+
+    @given(st.lists(st.binary(max_size=200), max_size=20), st.data())
+    def test_round_trip_any_chunking(self, payloads, data):
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        position = 0
+        while position < len(stream):
+            step = data.draw(st.integers(1, len(stream) - position))
+            out.extend(decoder.feed(stream[position:position + step]))
+            position += step
+        decoder.close()
+        assert out == payloads

@@ -1,0 +1,255 @@
+"""Sharding benchmark — sustained throughput vs shard count at scale.
+
+Generates a synthetic multi-tenant population (one cheap condition per
+tenant, kinds cycling — see :mod:`repro.sharding.tenants`), partitions
+it over the consistent-hash ring at each shard count, executes every
+shard's batch through the full semantic core (CE replicas with real
+front-link loss → stamp-ordered merge → online AD filter → canonical
+rendering), and reports:
+
+* **aggregate updates/sec per layout** — total ingested updates divided
+  by the *slowest shard's* wall time.  This container is single-CPU, so
+  shards run serially here; the critical-path quotient is exactly the
+  sustained throughput an N-worker deployment would see, because shards
+  share no state (tenants are pure functions of their index) and the
+  XOR-digest check below proves the per-shard batches are independent.
+  What the sweep measures is therefore the *partition quality* of the
+  ring — speedup = total work / max shard work — not multiprocessing
+  overhead;
+* **speedup vs one shard** — with 64 virtual nodes the ring's balance
+  bound keeps the largest shard near the ideal 1/N share, so the
+  4-shard layout must clear a structural ≥ 2x floor (gated in CI);
+* **cross-layout conformance** — every layout folds its per-tenant
+  output digests into an order-independent XOR aggregate; all layouts
+  (and the committed baseline) must agree bit-for-bit, or the benchmark
+  is measuring a wrong sharding.
+
+Run directly at full scale (writes ``benchmarks/BENCH_sharding.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py
+
+CI smoke gate (small population; digest equality, the structural
+speedup floor, and per-tenant cost vs the committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py \
+        --conditions 5000 --check --tolerance 4.0 \
+        --check-against benchmarks/BENCH_sharding.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.sharding.ring import ShardConfig
+from repro.sharding.tenants import (
+    ShardBatchResult,
+    partition_tenants,
+    run_shard,
+)
+
+SHARD_COUNTS = (1, 2, 4, 8)
+DEFAULT_CONDITIONS = 100_000
+DEFAULT_SEED = 7
+#: Structural floor on the 4-shard speedup: the ring's balance bound
+#: (64 vnodes) keeps the largest shard well under half the population,
+#: so the critical path must at least halve.  A miss means the ring is
+#: hoarding tenants, not that the runner is slow.
+SPEEDUP_FLOOR = 2.0
+#: Allowed per-tenant slowdown vs the committed baseline (CI runners
+#: are noisy; this catches an accidental quadratic, not clock drift).
+DEFAULT_TOLERANCE = 4.0
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_sharding.json"
+
+
+def run_layout(conditions: int, shards: int, seed: int) -> dict:
+    """Partition the population and execute every shard, timing each."""
+    config = ShardConfig(shards=shards)
+    partition = partition_tenants(conditions, config)
+    batches: list[ShardBatchResult] = []
+    elapsed: list[float] = []
+    for shard, tenant_indices in enumerate(partition):
+        started = time.perf_counter()
+        batches.append(run_shard(shard, tenant_indices, seed))
+        elapsed.append(time.perf_counter() - started)
+    updates = sum(batch.updates for batch in batches)
+    critical_path = max(elapsed)
+    return {
+        "shards": shards,
+        "tenants_per_shard": [len(p) for p in partition],
+        "updates": updates,
+        "alerts": sum(batch.alerts for batch in batches),
+        "displayed": sum(batch.displayed for batch in batches),
+        "digest": ShardBatchResult.combine_digests(
+            [batch.digest for batch in batches]
+        ),
+        "critical_path_s": critical_path,
+        "total_cpu_s": sum(elapsed),
+        "updates_per_s": updates / critical_path,
+    }
+
+
+def run_benchmark(
+    conditions: int = DEFAULT_CONDITIONS,
+    shard_counts: tuple[int, ...] = SHARD_COUNTS,
+    seed: int = DEFAULT_SEED,
+) -> dict:
+    # Warm caches (imports, expression compilation, allocator) so the
+    # first timed layout is not charged the process cold start.
+    run_shard(0, list(range(min(50, conditions))), seed)
+    layouts = [
+        run_layout(conditions, shards, seed) for shards in shard_counts
+    ]
+    digests = {layout["digest"] for layout in layouts}
+    base = layouts[0]["updates_per_s"]
+    for layout in layouts:
+        layout["speedup"] = layout["updates_per_s"] / base
+    return {
+        "conditions": conditions,
+        "seed": seed,
+        "python": platform.python_version(),
+        "conformant": len(digests) == 1,
+        "digest": layouts[0]["digest"],
+        "layouts": layouts,
+    }
+
+
+def format_result(result: dict) -> str:
+    lines = [
+        f"Sharding benchmark ({result['conditions']:,} conditions, "
+        f"seed {result['seed']})",
+        "  shards  max/shard   critical path   aggregate throughput  speedup",
+    ]
+    for layout in result["layouts"]:
+        lines.append(
+            f"  {layout['shards']:>6}  {max(layout['tenants_per_shard']):>9,}"
+            f"   {layout['critical_path_s']:>11.2f} s"
+            f"   {layout['updates_per_s']:>16,.0f} u/s"
+            f"   {layout['speedup']:>5.2f}x"
+        )
+    lines.append(
+        "  cross-layout digests: "
+        + ("IDENTICAL" if result["conformant"] else "DIVERGED")
+    )
+    return "\n".join(lines)
+
+
+def _layout(result: dict, shards: int) -> dict | None:
+    for layout in result["layouts"]:
+        if layout["shards"] == shards:
+            return layout
+    return None
+
+
+def check(result: dict, baseline_path: Path, tolerance: float) -> int:
+    failures: list[str] = []
+    if not result["conformant"]:
+        failures.append(
+            "shard layouts produced different XOR output digests — the "
+            "partition changed tenant semantics"
+        )
+    four = _layout(result, 4)
+    if four is None:
+        failures.append("no 4-shard layout in the sweep to gate on")
+    elif four["speedup"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"4-shard speedup {four['speedup']:.2f}x below the structural "
+            f"{SPEEDUP_FLOOR}x floor (critical path "
+            f"{four['critical_path_s']:.2f}s vs single-shard "
+            f"{result['layouts'][0]['critical_path_s']:.2f}s) — the ring "
+            "is hoarding tenants on one shard"
+        )
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        if result["conditions"] == baseline["conditions"]:
+            if result["digest"] != baseline["digest"]:
+                failures.append(
+                    "output digest diverged from the committed baseline "
+                    "at equal population — tenant semantics changed"
+                )
+        # Per-tenant cost is population-size independent; compare it so
+        # a small CI sweep can still gate against the full-scale run.
+        committed = baseline["layouts"][0]
+        committed_cost = committed["critical_path_s"] / committed["updates"]
+        cost = (
+            result["layouts"][0]["critical_path_s"]
+            / result["layouts"][0]["updates"]
+        )
+        if cost > committed_cost * tolerance:
+            failures.append(
+                f"per-update cost {cost * 1e6:.1f} us above "
+                f"{committed_cost * tolerance * 1e6:.1f} us (committed "
+                f"{committed_cost * 1e6:.1f} us * tolerance {tolerance}x)"
+            )
+    else:
+        failures.append(f"no committed baseline at {baseline_path}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        four = _layout(result, 4)
+        print(
+            f"OK: digests identical across layouts; 4-shard speedup "
+            f"{four['speedup']:.2f}x >= {SPEEDUP_FLOOR}x; per-update cost "
+            f"within {tolerance}x of baseline"
+        )
+    return 1 if failures else 0
+
+
+def test_sharding_throughput(benchmark):
+    """Harness entry point: a small sweep with artifact output."""
+    from benchmarks.conftest import save_result
+
+    result = benchmark.pedantic(
+        lambda: run_benchmark(conditions=5000), rounds=1, iterations=1
+    )
+    save_result("sharding", format_result(result))
+    assert result["conformant"]
+    assert _layout(result, 4)["speedup"] >= SPEEDUP_FLOOR
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--conditions", type=int, default=DEFAULT_CONDITIONS,
+        help=f"tenant population size (default {DEFAULT_CONDITIONS:,})",
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=list(SHARD_COUNTS),
+        help="shard counts to sweep (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless digest, speedup and cost gates pass (no "
+        "JSON is written)",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--check-against", type=Path, default=RESULT_PATH,
+        help="committed baseline JSON for the cost gate",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help=f"write the result JSON here (default: {RESULT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args.conditions, tuple(args.shards), args.seed)
+    print(format_result(result))
+
+    if args.check:
+        return check(result, args.check_against, args.tolerance)
+
+    output = args.output or RESULT_PATH
+    output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

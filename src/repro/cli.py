@@ -416,7 +416,7 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     spec = TrialSpec(
         matrix, args.row, args.algorithm, args.seed, args.updates,
         args.replication, faults=faults, kernel=args.kernel,
-        membership=membership,
+        membership=membership, sharding=_sharding_from_args(args),
     )
     trace = record_trial(spec)
     out = args.out or (
@@ -476,7 +476,18 @@ def _feed_spec_from_args(args: argparse.Namespace):
     return TrialSpec(
         matrix, args.row, args.algorithm, args.seed, args.updates,
         args.replication, faults=faults, kernel=args.kernel,
+        sharding=_sharding_from_args(args),
     )
+
+
+def _sharding_from_args(args: argparse.Namespace):
+    """A ShardConfig from a ``--shards N`` flag (None when unsharded)."""
+    shards = getattr(args, "shards", None)
+    if not shards or shards <= 1:
+        return None
+    from repro.sharding import ShardConfig
+
+    return ShardConfig(shards=shards)
 
 
 def _cmd_feed_record(args: argparse.Namespace) -> int:
@@ -499,9 +510,14 @@ def _cmd_feed_conform(args: argparse.Namespace) -> int:
     from repro.service import check_conformance, default_runtimes, load_feed
 
     feed = load_feed(args.path)
-    report = check_conformance(
-        feed, default_runtimes(include_service=not args.no_service)
-    )
+    runtimes = default_runtimes(include_service=not args.no_service)
+    if args.shards:
+        from repro.sharding import sharded_runtimes
+
+        runtimes.extend(
+            sharded_runtimes([n for n in args.shards if n > 1])
+        )
+    report = check_conformance(feed, runtimes)
     for result in report.results:
         latency = ""
         if result.latency_ms:
@@ -515,6 +531,8 @@ def _cmd_feed_conform(args: argparse.Namespace) -> int:
             f"verdicts={result.verdicts}{latency}"
         )
     print(f"conformance: {'IDENTICAL' if report.identical else 'DIVERGED'}")
+    if not report.identical:
+        print(f"  {report.explain()}")
     return 0 if report.identical else 1
 
 
@@ -536,16 +554,17 @@ def _cmd_feed_send(args: argparse.Namespace) -> int:
             f"p99={result.latency_ms['p99']:.3f}ms"
         )
     if args.conform:
+        from repro.service.runtime import ConformanceReport
+
         reference = DirectRuntime().execute(feed)
-        identical = (
-            result.digest() == reference.digest()
-            and result.verdicts == reference.verdicts
-        )
+        report = ConformanceReport(results=(reference, result))
         print(
             "conformance vs direct runtime: "
-            f"{'IDENTICAL' if identical else 'DIVERGED'}"
+            f"{'IDENTICAL' if report.identical else 'DIVERGED'}"
         )
-        return 0 if identical else 1
+        if not report.identical:
+            print(f"  {report.explain()}")
+        return 0 if report.identical else 1
     return 0
 
 
@@ -559,13 +578,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         queue_capacity=args.queue_capacity,
         high_water=args.high_water,
+        shards=args.shards,
+        virtual_nodes=args.virtual_nodes,
+        ring_seed=args.ring_seed,
     )
     service = MonitorService(config)
 
     async def run() -> None:
         await service.start()
-        print(f"monitoring service listening on {service.host}:{service.port}",
-              flush=True)
+        sharded = f" ({args.shards} shards)" if args.shards > 1 else ""
+        print(
+            f"monitoring service listening on "
+            f"{service.host}:{service.port}{sharded}",
+            flush=True,
+        )
         try:
             await service.serve_until(once=args.once)
         finally:
@@ -714,6 +740,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("peer-then-log", "peer", "log", "none"),
         default="peer-then-log",
         help="(--membership) where a recovering CE replays history from",
+    )
+    p_trec.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="place the run on an N-shard consistent-hash ring; sharding "
+        "is semantics-neutral, so the trace still replays bit-identically",
     )
     p_trec.set_defaults(func=_cmd_trace_record)
     p_trep = trace_sub.add_parser(
@@ -892,6 +923,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos", type=float, default=None, metavar="INTENSITY",
         help="inject faults at this chaos intensity (default profile)",
     )
+    p_frec.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="record the feed with an N-shard ring config in its spec "
+        "(semantics-neutral; the feed bytes do not change)",
+    )
     p_frec.add_argument("--out", default=None, help="output .jsonl path")
     p_frec.set_defaults(func=_cmd_feed_record)
     p_fcon = feed_sub.add_parser(
@@ -903,6 +939,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fcon.add_argument(
         "--no-service", action="store_true",
         help="skip the asyncio service runtime (no sockets)",
+    )
+    p_fcon.add_argument(
+        "--shards", type=int, nargs="+", default=None, metavar="N",
+        help="also run the feed through sharded runtimes at these shard "
+        "counts (e.g. --shards 1 2 3 8) and hold them byte-identical",
     )
     p_fcon.set_defaults(func=_cmd_feed_conform)
     p_fsend = feed_sub.add_parser(
@@ -937,6 +978,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--once", action="store_true",
         help="exit after serving one connection (CI smoke mode)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard the pipeline over an N-shard consistent-hash ring "
+        "(tenant front + per-shard ingest queues; 1 = unsharded)",
+    )
+    p_serve.add_argument(
+        "--virtual-nodes", type=int, default=64,
+        help="(--shards) virtual nodes per shard on the ring",
+    )
+    p_serve.add_argument(
+        "--ring-seed", type=int, default=0,
+        help="(--shards) seed of the ring's hash positions",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -25,6 +25,7 @@ from repro.workloads.scenarios import (
 if TYPE_CHECKING:
     from repro.faults.plan import FaultProfile
     from repro.membership.config import MembershipConfig
+    from repro.sharding.ring import ShardConfig
 
 __all__ = ["TrialSpec", "SCENARIO_MATRICES"]
 
@@ -74,6 +75,13 @@ class TrialSpec:
     #: report carries the run's churn digest (``PropertyReport.churn``).
     #: Dicts (from trace headers) are coerced like ``faults``.
     membership: "MembershipConfig | None" = None
+    #: Optional shard-ring config (see :mod:`repro.sharding`): the run's
+    #: condition is placed on the consistent-hash ring and the resulting
+    #: assignment attached to the run.  Sharding is semantics-neutral
+    #: (conformance-enforced), so this knob never changes verdicts or
+    #: traces — it records *where* the run would execute at scale.
+    #: Dicts (from trace/feed headers) are coerced like ``faults``.
+    sharding: "ShardConfig | None" = None
 
     def __post_init__(self) -> None:
         if isinstance(self.faults, dict):
@@ -85,6 +93,12 @@ class TrialSpec:
 
             object.__setattr__(
                 self, "membership", MembershipConfig(**self.membership)
+            )
+        if isinstance(self.sharding, dict):
+            from repro.sharding.ring import ShardConfig
+
+            object.__setattr__(
+                self, "sharding", ShardConfig(**self.sharding)
             )
 
     def resolve_scenario(self) -> Scenario:
@@ -114,6 +128,7 @@ class TrialSpec:
             faults=self.faults,
             kernel=self.kernel,
             membership=self.membership,
+            sharding=self.sharding,
         )
         report = run.evaluate_properties()
         if tracer is not None:

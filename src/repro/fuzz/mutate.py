@@ -31,6 +31,7 @@ from repro.membership.config import (
     MEMBERSHIP_FIELD_KINDS,
     MembershipConfig,
 )
+from repro.sharding.ring import ShardConfig
 
 __all__ = ["MutationLimits", "mutate_spec"]
 
@@ -61,6 +62,15 @@ _MEMBERSHIP_TEMPLATES: dict[str, tuple] = {
     "count": (1, 2, 3),
     "choice": ("peer-then-log", "peer", "log", "none"),
 }
+
+#: Shard counts worth visiting (sharding is semantics-neutral by
+#: contract — the fuzzer hunts for specs where that contract breaks).
+_SHARD_TEMPLATES = (1, 2, 3, 4, 8)
+
+#: Ring-shape knobs: virtual-node counts straddle badly- and
+#: well-balanced rings; seeds re-dice every ownership boundary.
+_VNODE_TEMPLATES = (1, 4, 16, 64, 128)
+_RING_SEED_TEMPLATES = (0, 1, 2, 7, 97)
 
 
 class MutationLimits:
@@ -145,6 +155,28 @@ def _transplant_churn(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
     return replace(spec, faults=profile, membership=MembershipConfig())
 
 
+def _mutate_shards(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    """Move the run to a different shard count (1 = drop sharding)."""
+    current = spec.sharding.shards if spec.sharding is not None else 1
+    count = rng.choice([n for n in _SHARD_TEMPLATES if n != current])
+    if count == 1:
+        return replace(spec, sharding=None)
+    base = spec.sharding if spec.sharding is not None else ShardConfig()
+    return replace(spec, sharding=base.resized(count))
+
+
+def _mutate_ring(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    """Re-dice the ring under the same shard count: turn the
+    virtual-node or ring-seed knob, so ownership boundaries move while
+    the fleet size stays put (a pure ring-resize/re-dice probe)."""
+    base = spec.sharding if spec.sharding is not None else ShardConfig(shards=2)
+    if rng.random() < 0.5:
+        base = base.with_value("virtual_nodes", rng.choice(_VNODE_TEMPLATES))
+    else:
+        base = base.with_value("ring_seed", rng.choice(_RING_SEED_TEMPLATES))
+    return replace(spec, sharding=base)
+
+
 #: (mutation, weight) — seed moves dominate (they are the cheapest way
 #: to re-roll timing), fault-surface edits follow, structural knobs are
 #: rarer.
@@ -160,6 +192,8 @@ _CATALOG = (
     (_mutate_replication, 1),
     (_drop_faults, 1),
     (_toggle_membership, 1),
+    (_mutate_shards, 1),
+    (_mutate_ring, 1),
 )
 _MUTATIONS = tuple(m for m, w in _CATALOG for _ in range(w))
 

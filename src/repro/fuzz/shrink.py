@@ -18,6 +18,9 @@ violated.  The reduction catalog:
 * drop the membership config entirely (back to static membership), or
   snap one membership knob to its default
   (:func:`~repro.membership.config.membership_field_default`),
+* drop the shard ring entirely (back to one shard — sharding is
+  semantics-neutral, so a surviving violation indicts the core), walk
+  the shard count down, or snap a ring-shape knob to its default,
 
 with a binary-descent accelerator on ``n_updates`` before the greedy
 passes.  The result is **1-minimal over the catalog**: no single
@@ -48,6 +51,7 @@ from repro.membership.config import (
     MEMBERSHIP_FIELD_KINDS,
     membership_field_default,
 )
+from repro.sharding.ring import shard_field_default
 from repro.observability.replay import RecordedTrace, record_trial
 from repro.workloads.scenarios import run_scenario
 
@@ -82,7 +86,12 @@ class ShrinkResult:
             f"replication={spec.replication}"
             + ("" if spec.front_loss is None else f" front_loss={spec.front_loss:g}")
             + ("" if spec.faults is None else " (faults attached)")
-            + ("" if spec.membership is None else " (membership attached)"),
+            + ("" if spec.membership is None else " (membership attached)")
+            + (
+                ""
+                if spec.sharding is None
+                else f" (sharded x{spec.sharding.shards})"
+            ),
             f"({self.attempts} shrink runs, {self.passes} passes)",
             self.counterexample.describe(),
         ]
@@ -147,6 +156,29 @@ def _membership_steps(spec: TrialSpec) -> Iterator[TrialSpec]:
         yield replace(spec, membership=config.with_value(name, default))
 
 
+def _sharding_steps(spec: TrialSpec) -> Iterator[TrialSpec]:
+    """Drop sharding, or snap the surviving ring toward one shard.
+
+    The drop-to-one-shard step mirrors the membership drop: sharding is
+    semantics-neutral by contract, so a violation that survives the
+    drop indicts the core semantics, while one that *needs* the ring is
+    a sharding bug worth a minimal ring.  After the drop fails, the
+    snaps walk ``shards`` down to the smallest still-violating count
+    and normalize the ring-shape knobs to their defaults.
+    """
+    config = spec.sharding
+    if config is None:
+        return
+    yield replace(spec, sharding=None)
+    if config.shards > 2:
+        yield replace(spec, sharding=config.resized(config.shards - 1))
+    for name in ("virtual_nodes", "ring_seed"):
+        default = shard_field_default(name)
+        if getattr(config, name) == default:
+            continue
+        yield replace(spec, sharding=config.with_value(name, default))
+
+
 def _candidates(spec: TrialSpec, min_updates: int) -> Iterator[TrialSpec]:
     """Single-step reductions of ``spec``, in deterministic order."""
     if spec.n_updates > min_updates:
@@ -162,6 +194,7 @@ def _candidates(spec: TrialSpec, min_updates: int) -> Iterator[TrialSpec]:
         halved = spec.front_loss / 2
         if halved > _EPSILON:
             yield replace(spec, front_loss=halved)
+    yield from _sharding_steps(spec)
     yield from _profile_steps(spec)
     yield from _membership_steps(spec)
 
@@ -230,6 +263,7 @@ def shrink_spec(
         replication=spec.replication,
         faults=spec.faults,
         membership=spec.membership,
+        sharding=spec.sharding,
     )
     counterexample = counterexample_from_run(run, target=target)
     assert counterexample is not None  # still_violates(spec) held above

@@ -107,6 +107,7 @@ def record_trial(spec) -> RecordedTrace:
         faults=getattr(spec, "faults", None),
         kernel=getattr(spec, "kernel", "array"),
         membership=getattr(spec, "membership", None),
+        sharding=getattr(spec, "sharding", None),
     )
     return RecordedTrace(
         spec=_canonical(asdict(spec)),

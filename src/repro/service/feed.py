@@ -180,6 +180,7 @@ def record_feed(spec) -> UpdateFeed:
         faults=spec.faults,
         kernel=spec.kernel,
         membership=spec.membership,
+        sharding=spec.sharding,
     )
     canonical = _json.loads(_json.dumps(asdict(spec), sort_keys=True))
     return feed_from_run(canonical, run)

@@ -150,6 +150,7 @@ class KernelRuntime:
             faults=spec.faults,
             kernel=spec.kernel,
             membership=spec.membership,
+            sharding=spec.sharding,
         )
         if run.received != feed.per_ce():
             raise FeedMismatchError(
@@ -226,9 +227,88 @@ class ConformanceReport:
     def verdicts(self) -> dict[str, bool | None]:
         return self.results[0].verdicts if self.results else {}
 
+    def first_divergence(self) -> "dict[str, Any] | None":
+        """Locate the first point where a runtime leaves the reference.
+
+        A bare digest mismatch says *that* two runtimes diverged but not
+        *where*; this walks the displayed sequences alert by alert and
+        names the first runtime that differs from ``results[0]``, the
+        alert index at which they part ways, each side's canonical line
+        at that index (``None`` past the end of the shorter sequence)
+        and the source CE of the alert present there.  Verdict-only
+        divergences (identical bytes, different property decisions)
+        report ``alert_index=None`` with both verdict dicts.  Returns
+        ``None`` when the report is conformant.
+        """
+        if not self.results:
+            return None
+        reference = self.results[0]
+        ref_lines = [
+            alert_canonical_line(alert) for alert in reference.displayed
+        ]
+        for result in self.results[1:]:
+            lines = [alert_canonical_line(alert) for alert in result.displayed]
+            if lines == ref_lines:
+                if result.verdicts == reference.verdicts:
+                    continue
+                return {
+                    "runtime": result.runtime,
+                    "reference": reference.runtime,
+                    "alert_index": None,
+                    "source": None,
+                    "reference_line": None,
+                    "divergent_line": None,
+                    "verdicts": {
+                        reference.runtime: reference.verdicts,
+                        result.runtime: result.verdicts,
+                    },
+                }
+            for index in range(max(len(ref_lines), len(lines))):
+                ref_line = ref_lines[index] if index < len(ref_lines) else None
+                line = lines[index] if index < len(lines) else None
+                if ref_line == line:
+                    continue
+                displayed = (
+                    reference.displayed
+                    if index < len(reference.displayed)
+                    else result.displayed
+                )
+                return {
+                    "runtime": result.runtime,
+                    "reference": reference.runtime,
+                    "alert_index": index,
+                    "source": displayed[index].source or None,
+                    "reference_line": ref_line,
+                    "divergent_line": line,
+                }
+        return None
+
+    def explain(self) -> str:
+        """One-line human verdict; names the first divergence if any."""
+        divergence = self.first_divergence()
+        if divergence is None:
+            count = len(self.results)
+            return f"conformant: {count} runtimes byte-identical"
+        if divergence["alert_index"] is None:
+            return (
+                f"{divergence['runtime']} diverges from "
+                f"{divergence['reference']}: displayed bytes identical but "
+                f"verdicts differ ({divergence['verdicts']})"
+            )
+        where = f"alert index {divergence['alert_index']}"
+        if divergence["source"]:
+            where += f" (from {divergence['source']})"
+        return (
+            f"{divergence['runtime']} diverges from "
+            f"{divergence['reference']} at {where}: "
+            f"reference displayed {divergence['reference_line']!r}, "
+            f"divergent displayed {divergence['divergent_line']!r}"
+        )
+
     def summary(self) -> dict[str, Any]:
         return {
             "identical": self.identical,
+            "divergence": self.first_divergence(),
             "runtimes": {
                 result.runtime: {
                     "digest": result.digest(),

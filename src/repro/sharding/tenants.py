@@ -1,0 +1,211 @@
+"""Multi-tenant scale-out: many conditions, partitioned by the ring.
+
+The conformance harness replays *one* recorded condition at a time; the
+north-star workload is millions of users' conditions monitored at once.
+This module provides that population: deterministic synthetic tenants
+(one cheap condition each — non-historical threshold, aggressive delta,
+or conservative consecutive-delta, cycling), partitioned over a
+:class:`~repro.sharding.ring.ShardConfig` by each tenant's variable, and
+executed shard by shard through the same semantic core as everything
+else — :class:`~repro.core.evaluator.ConditionEvaluator` per CE replica,
+stamp-ordered merge, online AD filter, canonical alert rendering.
+
+Each tenant is a pure function of ``(tenant_index, seed)``, so a shard's
+batch can be generated *inside* the worker that executes it — nothing
+but index lists crosses process boundaries, which is what lets the
+benchmark sweep 10⁵–10⁶ conditions.  Per-tenant output digests fold into
+an order-independent XOR aggregate, so a sweep can assert that every
+shard count (and any process layout) produced identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from random import Random
+
+from repro.core.condition import ExpressionCondition
+from repro.core.evaluator import ConditionEvaluator
+from repro.core.expressions import H
+from repro.core.serialization import alert_canonical_line
+from repro.core.update import Update
+from repro.displayers.registry import make_ad
+from repro.service.runtime import merge_stamped
+from repro.sharding.ring import HashRing, ShardConfig
+
+__all__ = [
+    "tenant_variable",
+    "make_tenant_condition",
+    "partition_tenants",
+    "run_tenant",
+    "run_shard",
+    "ShardBatchResult",
+]
+
+#: Per-tenant AD algorithms, cycled by tenant index (single-variable,
+#: cheap online filters).
+_ALGORITHMS = ("AD-1", "AD-2", "AD-3")
+
+
+def tenant_variable(index: int) -> str:
+    """The real-world variable tenant ``index`` monitors (ring key)."""
+    return f"tenant{index:07d}.x"
+
+
+def make_tenant_condition(index: int) -> ExpressionCondition:
+    """Tenant ``index``'s condition — kind cycles with the index."""
+    var = tenant_variable(index)
+    kind = index % 3
+    if kind == 0:
+        # Non-historical threshold (the paper's c1 shape).
+        return ExpressionCondition(
+            f"t{index}", H[var][0].value > 3000.0, conservative=False
+        )
+    delta = H[var][0].value - H[var][-1].value > 150.0
+    if kind == 1:
+        # Historical, aggressive (c2 shape).
+        return ExpressionCondition(f"t{index}", delta, conservative=False)
+    # Historical, conservative (c3 shape).
+    return ExpressionCondition(
+        f"t{index}",
+        delta & (H[var][0].seqno == H[var][-1].seqno + 1),
+        conservative=True,
+    )
+
+
+def partition_tenants(
+    count: int, config: ShardConfig
+) -> list[list[int]]:
+    """Tenant indices per shard, assigned by the ring over their variables."""
+    ring = HashRing(config)
+    shards: list[list[int]] = [[] for _ in range(config.shards)]
+    for index in range(count):
+        shards[ring.shard_for(tenant_variable(index))].append(index)
+    return shards
+
+
+def _tenant_stream(index: int, seed: int, n_updates: int) -> list[Update]:
+    """Tenant ``index``'s DM broadcast: a random walk around the threshold."""
+    rng = Random(f"tenant/{seed}/{index}")
+    var = tenant_variable(index)
+    value = 2900.0 + rng.uniform(-100.0, 100.0)
+    stream = []
+    for seqno in range(1, n_updates + 1):
+        value += rng.uniform(-120.0, 140.0)
+        stream.append(Update(var, seqno, round(value, 3)))
+    return stream
+
+
+@dataclass(frozen=True)
+class TenantResult:
+    tenant: int
+    updates: int
+    alerts: int
+    displayed: int
+    #: sha256 over the displayed canonical alert lines (the same
+    #: rendering the conformance harness diffs).
+    digest: str
+
+
+def run_tenant(
+    index: int,
+    seed: int,
+    n_updates: int = 12,
+    replication: int = 2,
+) -> TenantResult:
+    """Monitor one tenant end to end (CE replicas → merge → AD filter).
+
+    Replica disagreement is real: each non-primary CE independently
+    loses ~20% of the front-link deliveries, so the AD filter has actual
+    duplicate/ordering work to do.
+    """
+    rng = Random(f"loss/{seed}/{index}")
+    condition = make_tenant_condition(index)
+    stream = _tenant_stream(index, seed, n_updates)
+    evaluators = [
+        ConditionEvaluator(condition, source=f"CE{i + 1}")
+        for i in range(replication)
+    ]
+    ingested = 0
+    stamped: list[tuple[tuple[float, int], object]] = []
+    counter = 0
+    for position, update in enumerate(stream):
+        for ce_index, evaluator in enumerate(evaluators):
+            if ce_index > 0 and rng.random() < 0.2:
+                continue  # front-link loss on this replica
+            ingested += 1
+            alert = evaluator.ingest(update)
+            if alert is not None:
+                # Back-link arrival stamp: position-major, replica-minor
+                # — a deterministic total order for the AD merge.
+                stamped.append(
+                    ((position * 10.0 + ce_index * 0.5, counter), alert)
+                )
+                counter += 1
+    per_ce = tuple(evaluator.alerts for evaluator in evaluators)
+    stamps = tuple(
+        tuple(stamp for stamp, alert in stamped if alert.source == f"CE{i + 1}")
+        for i in range(replication)
+    )
+    arrivals = merge_stamped(per_ce, stamps)
+    algorithm = make_ad(_ALGORITHMS[index % len(_ALGORITHMS)], condition)
+    algorithm.offer_all(arrivals)
+    displayed = algorithm.output
+    digest = hashlib.sha256(
+        "\n".join(alert_canonical_line(a) for a in displayed).encode()
+    ).hexdigest()
+    return TenantResult(
+        tenant=index,
+        updates=ingested,
+        alerts=len(arrivals),
+        displayed=len(displayed),
+        digest=digest,
+    )
+
+
+@dataclass(frozen=True)
+class ShardBatchResult:
+    """One shard's whole batch, with the order-independent aggregate."""
+
+    shard: int
+    tenants: int
+    updates: int
+    alerts: int
+    displayed: int
+    #: XOR of the per-tenant digests — equal aggregates ⇔ equal
+    #: per-tenant outputs, regardless of shard layout or process order.
+    digest: str
+
+    @staticmethod
+    def combine_digests(digests: "list[str]") -> str:
+        acc = 0
+        for digest in digests:
+            acc ^= int(digest, 16)
+        return f"{acc:064x}"
+
+
+def run_shard(
+    shard: int,
+    tenant_indices: "list[int]",
+    seed: int,
+    n_updates: int = 12,
+    replication: int = 2,
+) -> ShardBatchResult:
+    """Execute one shard's tenant batch (generation included — a real
+    shard owns its tenants' whole lifecycle)."""
+    updates = alerts = displayed = 0
+    digests: list[str] = []
+    for index in tenant_indices:
+        result = run_tenant(index, seed, n_updates, replication)
+        updates += result.updates
+        alerts += result.alerts
+        displayed += result.displayed
+        digests.append(result.digest)
+    return ShardBatchResult(
+        shard=shard,
+        tenants=len(tenant_indices),
+        updates=updates,
+        alerts=alerts,
+        displayed=displayed,
+        digest=ShardBatchResult.combine_digests(digests),
+    )

@@ -1,0 +1,203 @@
+"""Cross-shard conformance: sharded deployments vs the direct core.
+
+Sharding's contract is *output invisibility*: any shard count, any ring
+dicing, any resize mid-feed must display **byte-identical** alert
+frames and identical property verdicts to the single-set reference
+runtime.  The matrix here replays shards ∈ {1, 2, 3, 8} against
+:class:`~repro.service.runtime.DirectRuntime` over:
+
+* the 8 pinned minimal ✗-cell witnesses of Tables 1–3 — each property
+  violation must *survive* the shard split (a sharded deployment that
+  accidentally "fixes" a violation is corrupting the semantics);
+* healthy single- and multi-variable feeds (the multi-variable rows
+  exercise condition-reference routing, which pulls the non-primary
+  variable's updates to the condition's home shard);
+* a chaos feed and a dynamic-membership feed, whose degraded delivery
+  streams the shard split must carry through untouched;
+* the sharded asyncio service (tenant front + per-shard queues over
+  real sockets); and
+* a ring resize mid-feed, whose handoff must be invisible too.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:  # `python -m pytest` from elsewhere
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.min_witnesses import RESULT_PATH  # noqa: E402
+
+from repro.engine.spec import TrialSpec  # noqa: E402
+from repro.faults import DEFAULT_CHAOS_PROFILE  # noqa: E402
+from repro.membership import MembershipConfig  # noqa: E402
+from repro.service import check_conformance, record_feed  # noqa: E402
+from repro.service.runtime import DirectRuntime  # noqa: E402
+from repro.sharding import (  # noqa: E402
+    ShardConfig,
+    execute_rebalanced,
+    sharded_runtimes,
+)
+
+WITNESS_ENTRIES = json.loads(RESULT_PATH.read_text())
+
+#: The conformance matrix's shard counts (1 = the degenerate ring).
+SHARD_COUNTS = (1, 2, 3, 8)
+
+#: Feeds are pure functions of their spec; cache across the matrix.
+_FEEDS: dict[TrialSpec, object] = {}
+
+
+def feed_for(spec: TrialSpec):
+    if spec not in _FEEDS:
+        _FEEDS[spec] = record_feed(spec)
+    return _FEEDS[spec]
+
+
+def assert_shard_conformance(spec: TrialSpec):
+    """Replay the spec's feed at every shard count; byte-identity."""
+    feed = feed_for(spec)
+    report = check_conformance(
+        feed, [DirectRuntime(), *sharded_runtimes(SHARD_COUNTS)]
+    )
+    assert len(report.results) == 1 + len(SHARD_COUNTS)
+    assert report.identical, report.explain()
+    # Nothing lost in the split: every recorded delivery was either
+    # routed to a shard or dropped as unreferenced.
+    for result in report.results[1:]:
+        routed = sum(
+            count
+            for key, count in result.counters.items()
+            if key.startswith("shard/route/")
+        )
+        dropped = result.counters.get("shard/drop/router", 0)
+        assert routed + dropped == len(feed.deliveries)
+    return report
+
+
+class TestMinimizedWitnessShards:
+    """The 8 pinned ✗-cells: violations must survive the shard split."""
+
+    @pytest.mark.parametrize(
+        "entry", WITNESS_ENTRIES, ids=[e["cell"] for e in WITNESS_ENTRIES]
+    )
+    def test_witness_conforms_and_still_violates(self, entry):
+        witness = entry["witness"]
+        spec = TrialSpec(
+            witness["matrix"], witness["row"], witness["algorithm"],
+            witness["seed"], witness["n_updates"],
+            replication=witness["replication"],
+            front_loss=witness["front_loss"],
+        )
+        report = assert_shard_conformance(spec)
+        for result in report.results:
+            assert result.verdicts[entry["target"]] is False, (
+                f"{entry['cell']}: {result.runtime} must reproduce the "
+                f"{entry['target']} violation"
+            )
+
+
+class TestHealthyFeeds:
+    @pytest.mark.parametrize(
+        "row,algorithm,replication",
+        [
+            ("lossless", "AD-1", 2),
+            ("non-historical", "AD-2", 2),
+            ("aggressive", "AD-4", 3),
+        ],
+    )
+    def test_single_variable_rows(self, row, algorithm, replication):
+        assert_shard_conformance(
+            TrialSpec("single", row, algorithm, seed=13, n_updates=30,
+                      replication=replication)
+        )
+
+    def test_multi_variable_routing_pulls_both_variables_home(self):
+        # cm references x and y; condition-reference routing must land
+        # every delivery on the condition's single home shard.
+        spec = TrialSpec("multi", "aggressive", "AD-5", seed=3, n_updates=24,
+                         replication=3)
+        report = assert_shard_conformance(spec)
+        for result in report.results[1:]:
+            routes = [
+                key for key in result.counters if key.startswith("shard/route/")
+            ]
+            assert len(routes) == 1, (
+                f"{result.runtime}: one condition must occupy exactly one "
+                f"shard, got routes {routes}"
+            )
+
+    def test_spec_with_sharding_field_records_identical_feed(self):
+        # The TrialSpec knob is semantics-neutral: recording with it set
+        # changes the spec header, never the deliveries or stamps.
+        plain = record_feed(
+            TrialSpec("single", "aggressive", "AD-2", 7, 18)
+        )
+        sharded = record_feed(
+            TrialSpec("single", "aggressive", "AD-2", 7, 18,
+                      sharding=ShardConfig(shards=8))
+        )
+        assert sharded.deliveries == plain.deliveries
+        assert sharded.stamps == plain.stamps
+        assert sharded.spec["sharding"] == {
+            "shards": 8, "virtual_nodes": 64, "ring_seed": 0,
+        }
+
+
+class TestDegradedFeeds:
+    def test_chaos_feed_conforms(self):
+        assert_shard_conformance(
+            TrialSpec("single", "aggressive", "AD-4", seed=11, n_updates=30,
+                      faults=DEFAULT_CHAOS_PROFILE.scaled(1.5))
+        )
+
+    def test_membership_feed_conforms(self):
+        from repro.faults.plan import FaultProfile
+
+        faults = FaultProfile(ce_crash_rate=0.01, ce_mean_repair=40.0)
+        assert_shard_conformance(
+            TrialSpec("single", "aggressive", "AD-4", seed=5, n_updates=30,
+                      replication=3, faults=faults,
+                      membership=MembershipConfig())
+        )
+
+
+class TestShardedService:
+    def test_asyncio_service_with_shard_front_conforms(self):
+        from repro.service.server import AsyncioServiceRuntime, ServiceConfig
+
+        spec = TrialSpec("single", "aggressive", "AD-2", seed=13, n_updates=30)
+        feed = feed_for(spec)
+        report = check_conformance(
+            feed,
+            [
+                DirectRuntime(),
+                AsyncioServiceRuntime(ServiceConfig(shards=3)),
+                AsyncioServiceRuntime(ServiceConfig(shards=8, ring_seed=2)),
+            ],
+        )
+        assert report.identical, report.explain()
+        for result in report.results[1:]:
+            forwarded = sum(
+                count
+                for key, count in result.counters.items()
+                if key.startswith("shard/route/")
+            )
+            assert forwarded == len(feed.deliveries)
+
+
+class TestRebalanceMidFeed:
+    @pytest.mark.parametrize("cut", [0, 1, 17, 10_000])
+    def test_resize_mid_feed_is_invisible(self, cut):
+        spec = TrialSpec("single", "conservative", "AD-3", seed=9,
+                         n_updates=30, replication=3)
+        feed = feed_for(spec)
+        reference = DirectRuntime().execute(feed)
+        result = execute_rebalanced(
+            feed, ShardConfig(shards=2), cut, ShardConfig(shards=8)
+        )
+        assert result.displayed_bytes() == reference.displayed_bytes()
+        assert result.verdicts == reference.verdicts

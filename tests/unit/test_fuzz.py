@@ -273,3 +273,85 @@ class TestFaultProfileMutationSupport:
     def test_with_value_rejects_unknown_fields(self):
         with pytest.raises(KeyError):
             DEFAULT_CHAOS_PROFILE.with_value("not_a_field", 1.0)
+
+
+class TestShardingMutationAndShrink:
+    """The shard-count/ring mutators and the drop-to-one-shard shrink step."""
+
+    def test_mutated_shard_configs_stay_valid(self):
+        from random import Random
+
+        from repro.fuzz.mutate import _mutate_ring, _mutate_shards
+
+        rng = Random("shard/0")
+        spec = BASE_SPEC
+        saw_sharded = saw_unsharded = False
+        for _ in range(200):
+            spec = rng.choice((_mutate_shards, _mutate_ring))(spec, rng, None)
+            if spec.sharding is None:
+                saw_unsharded = True
+            else:
+                saw_sharded = True
+                assert spec.sharding.shards >= 1
+                assert spec.sharding.virtual_nodes >= 1
+                assert spec.sharding.ring_seed >= 0
+        # The catalog must both attach rings and drop back to one shard.
+        assert saw_sharded and saw_unsharded
+
+    def test_shard_mutator_never_repeats_the_current_count(self):
+        from random import Random
+
+        from repro.fuzz.mutate import _mutate_shards
+        from repro.sharding import ShardConfig
+
+        rng = Random("shard/1")
+        spec = TrialSpec(
+            BASE_SPEC.matrix, BASE_SPEC.row, BASE_SPEC.algorithm, 0, 10,
+            sharding=ShardConfig(shards=3),
+        )
+        for _ in range(50):
+            child = _mutate_shards(spec, rng, None)
+            count = 1 if child.sharding is None else child.sharding.shards
+            assert count != 3
+
+    def test_sharding_shrink_steps_drop_first_then_normalize(self):
+        from repro.fuzz.shrink import _sharding_steps
+        from repro.sharding import ShardConfig
+
+        spec = TrialSpec(
+            "single", "aggressive", "AD-2", 0, 10,
+            sharding=ShardConfig(shards=4, virtual_nodes=16, ring_seed=2),
+        )
+        steps = list(_sharding_steps(spec))
+        assert steps[0].sharding is None  # cheapest question first
+        assert steps[1].sharding == ShardConfig(
+            shards=3, virtual_nodes=16, ring_seed=2
+        )
+        remaining = {step.sharding for step in steps[2:]}
+        assert remaining == {
+            ShardConfig(shards=4, virtual_nodes=64, ring_seed=2),
+            ShardConfig(shards=4, virtual_nodes=16, ring_seed=0),
+        }
+        assert list(_sharding_steps(TrialSpec(
+            "single", "aggressive", "AD-2", 0, 10
+        ))) == []
+
+    def test_shrink_drops_sharding_and_matches_unsharded_witness(self):
+        """Shrink soundness: sharding is semantics-neutral, so the
+        drop-to-one-shard step must always land, and a sharded violating
+        spec must shrink to the *same* 1-minimal witness as its
+        unsharded twin (same violation, same trace)."""
+        from dataclasses import replace
+
+        from repro.sharding import ShardConfig
+
+        base = TestShrinkSpec._violating_spec()
+        sharded = replace(
+            base, sharding=ShardConfig(shards=8, virtual_nodes=16, ring_seed=3)
+        )
+        assert violates(sharded.execute(), "consistent")
+        result = shrink_spec(sharded, "consistent")
+        assert result.spec.sharding is None
+        unsharded_result = shrink_spec(base, "consistent")
+        assert result.spec == unsharded_result.spec
+        assert violates(result.spec.execute(), "consistent")

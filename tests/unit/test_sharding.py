@@ -1,0 +1,269 @@
+"""Unit tests for the sharding subsystem: ring, router, handoff, runtime.
+
+The property and integration suites own the statistical invariants and
+the cross-runtime conformance matrix; this file pins the concrete
+contracts — config validation and clamping, deterministic placement,
+split bookkeeping, the handoff's JSON round trip and stale guard, and
+the conformance report's divergence locator (which must name the first
+diverging alert, not just digests).
+"""
+
+import pytest
+
+from repro.core.condition import c1, cm
+from repro.core.update import Update
+from repro.engine.spec import TrialSpec
+from repro.service.feed import record_feed
+from repro.service.runtime import ConformanceReport, DirectRuntime
+from repro.sharding import (
+    SHARD_FIELD_KINDS,
+    HashRing,
+    ShardConfig,
+    ShardedRuntime,
+    ShardHost,
+    ShardState,
+    assign_condition,
+    moved_keys,
+    shard_field_default,
+    split_feed,
+)
+
+
+class TestShardConfig:
+    def test_defaults_are_the_degenerate_ring(self):
+        config = ShardConfig()
+        assert config.shards == 1
+        assert config.is_single
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"shards": -2},
+            {"virtual_nodes": 0},
+            {"ring_seed": -1},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardConfig(**kwargs)
+
+    def test_with_value_clamps_by_kind(self):
+        config = ShardConfig(shards=4)
+        assert config.with_value("shards", -3).shards == 1
+        assert config.with_value("virtual_nodes", 0.9).virtual_nodes == 1
+        assert config.with_value("ring_seed", -7).ring_seed == 0
+        assert config.with_value("shards", 8).shards == 8
+
+    def test_resized_keeps_ring_shape(self):
+        config = ShardConfig(shards=2, virtual_nodes=16, ring_seed=3)
+        resized = config.resized(5)
+        assert resized.shards == 5
+        assert resized.virtual_nodes == 16
+        assert resized.ring_seed == 3
+
+    def test_field_metadata_covers_every_knob(self):
+        assert set(SHARD_FIELD_KINDS) == {
+            "shards", "virtual_nodes", "ring_seed",
+        }
+        for name in SHARD_FIELD_KINDS:
+            default = shard_field_default(name)
+            assert getattr(ShardConfig(), name) == default
+
+    def test_spec_round_trips_sharding_as_dict(self):
+        # Trace/feed headers reconstruct specs from plain JSON dicts.
+        spec = TrialSpec(
+            "single", "aggressive", "AD-2", 0, 10,
+            sharding={"shards": 4, "virtual_nodes": 32, "ring_seed": 1},
+        )
+        assert spec.sharding == ShardConfig(
+            shards=4, virtual_nodes=32, ring_seed=1
+        )
+
+
+class TestHashRing:
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(ShardConfig())
+        assert ring.shard_for("x") == 0
+        assert ring.loads(["a", "b", "c"]) == [3]
+
+    def test_assignment_is_stable_across_builds(self):
+        config = ShardConfig(shards=5, virtual_nodes=32, ring_seed=2)
+        population = [f"v{i}" for i in range(100)]
+        assert HashRing(config).assignment(population) == HashRing(
+            config
+        ).assignment(population)
+
+    def test_reseeding_redices_ownership(self):
+        population = [f"v{i}" for i in range(200)]
+        a = HashRing(ShardConfig(shards=4)).assignment(population)
+        b = HashRing(ShardConfig(shards=4, ring_seed=1)).assignment(population)
+        assert a != b  # 200 keys all landing identically is ~impossible
+
+    def test_moved_keys_reports_ownership_changes_only(self):
+        before = {"a": 0, "b": 1, "c": 1}
+        after = {"a": 0, "b": 2, "c": 1}
+        assert moved_keys(before, after) == {"b": (1, 2)}
+
+
+class TestRouter:
+    def test_primary_is_lexicographically_smallest_variable(self):
+        assignment = assign_condition(cm(), ShardConfig(shards=6))
+        assert assignment.primary == "x"
+        assert set(assignment.variable_owner) == {"x", "y"}
+
+    def test_multi_variable_routes_pull_to_home(self):
+        assignment = assign_condition(cm(), ShardConfig(shards=6))
+        for var in ("x", "y"):
+            assert assignment.route(var) == (assignment.home,)
+        assert assignment.route("unreferenced") == ()
+
+    def test_home_is_ring_owner_of_primary(self):
+        config = ShardConfig(shards=7, ring_seed=3)
+        assignment = assign_condition(c1(), config)
+        assert assignment.home == HashRing(config).shard_for("x")
+
+    def test_summary_is_plain_scalars(self):
+        import json
+
+        summary = assign_condition(cm(), ShardConfig(shards=3)).summary()
+        assert json.loads(json.dumps(summary)) == summary
+
+    def test_split_feed_bookkeeping(self):
+        feed = record_feed(TrialSpec("single", "aggressive", "AD-2", 3, 12))
+        assignment, sub_feeds, dropped = split_feed(feed, ShardConfig(shards=4))
+        assert dropped == 0
+        assert set(sub_feeds) == {assignment.home}
+        home = sub_feeds[assignment.home]
+        assert home.deliveries == feed.deliveries
+        assert home.stamps == feed.stamps
+
+
+def _threshold_updates(seqnos):
+    # c1 defaults to "x > 3000": odd seqnos trigger, even seqnos do not.
+    return [
+        Update("x", seqno, 3600.0 if seqno % 2 else 100.0)
+        for seqno in seqnos
+    ]
+
+
+class TestHandoff:
+    def make_host(self):
+        host = ShardHost(shard=1, condition=c1(), replication=2)
+        for update in _threshold_updates([1, 2, 3]):
+            host.ingest(0, update)
+        for update in _threshold_updates([1, 3]):
+            host.ingest(1, update)
+        return host
+
+    def test_export_state_json_round_trip(self):
+        state = self.make_host().export_state()
+        restored = ShardState.from_json_obj(state.to_json_obj())
+        assert restored == state
+        assert restored.emitted == (2, 2)
+        assert restored.high_water == ({"x": 3}, {"x": 3})
+
+    def test_restore_replays_to_identical_alerts(self):
+        host = self.make_host()
+        state = ShardState.from_json_obj(host.export_state().to_json_obj())
+        restored = ShardHost.restore(5, c1(), state)
+        assert restored.shard == 5
+        assert restored.per_ce_alerts() == host.per_ce_alerts()
+        assert restored.received() == host.received()
+
+    def test_restore_rejects_tampered_state(self):
+        state = self.make_host().export_state()
+        tampered = ShardState(
+            shard=state.shard,
+            logs=state.logs,
+            high_water=state.high_water,
+            emitted=(5, 5),  # claims alerts the log cannot regenerate
+        )
+        with pytest.raises(ValueError, match="does not reproduce"):
+            ShardHost.restore(2, c1(), tampered)
+
+    def test_stale_guard_drops_reforwarded_duplicates(self):
+        host = self.make_host()
+        state = ShardState.from_json_obj(host.export_state().to_json_obj())
+        restored = ShardHost.restore(2, c1(), state)
+        # An in-flight delivery re-forwarded after the handoff: already
+        # covered by the high-water vector, must not double-ingest.
+        assert restored.ingest(0, _threshold_updates([3])[0]) is None
+        assert restored.stale_dropped == [1, 0]
+        assert restored.per_ce_alerts() == host.per_ce_alerts()
+        # Genuinely new deliveries still evaluate.
+        alert = restored.ingest(0, _threshold_updates([5])[0])
+        assert alert is not None
+
+    def test_guard_ignores_unreferenced_variables(self):
+        host = ShardHost(shard=0, condition=c1(), replication=1)
+        host.ingest(0, Update("other", 1, 9999.0))
+        assert host.export_state().high_water == ({},)
+
+
+class TestShardedRuntimeBookkeeping:
+    def test_counters_account_for_every_delivery(self):
+        feed = record_feed(TrialSpec("multi", "aggressive", "AD-5", 2, 10))
+        result = ShardedRuntime(ShardConfig(shards=5)).execute(feed)
+        routed = sum(
+            count
+            for key, count in result.counters.items()
+            if key.startswith("shard/route/")
+        )
+        assert routed + result.counters.get("shard/drop/router", 0) == len(
+            feed.deliveries
+        )
+
+    def test_runtime_name_exposes_layout(self):
+        runtime = ShardedRuntime(ShardConfig(shards=3))
+        assert runtime.name == "sharded[3]:direct"
+
+
+class TestConformanceDivergence:
+    def make_results(self, *specs):
+        return [
+            DirectRuntime().execute(record_feed(spec)) for spec in specs
+        ]
+
+    def test_conformant_report_has_no_divergence(self):
+        spec = TrialSpec("single", "aggressive", "AD-2", 3, 12)
+        a, b = self.make_results(spec, spec)
+        report = ConformanceReport(results=(a, b))
+        assert report.identical
+        assert report.first_divergence() is None
+        assert "conformant" in report.explain()
+
+    def test_divergence_names_first_alert_and_source(self):
+        from dataclasses import replace
+
+        spec = TrialSpec("single", "aggressive", "AD-2", 3, 12)
+        (a,) = self.make_results(spec)
+        assert a.displayed  # the seed was chosen to display alerts
+        b = replace(a, runtime="other", displayed=a.displayed[1:])
+        report = ConformanceReport(results=(a, b))
+        assert not report.identical
+        divergence = report.first_divergence()
+        assert divergence["runtime"] == "other"
+        assert divergence["reference"] == "direct"
+        # The streams share no offset, so they part ways at alert 0 —
+        # and the message must say so rather than only hashing.
+        assert divergence["alert_index"] == 0
+        assert divergence["source"] == a.displayed[0].source
+        explained = report.explain()
+        assert "alert index 0" in explained
+        assert divergence["source"] in explained
+        assert report.summary()["divergence"] == divergence
+
+    def test_verdict_only_divergence_is_reported(self):
+        from dataclasses import replace
+
+        spec = TrialSpec("single", "aggressive", "AD-2", 3, 12)
+        (a,) = self.make_results(spec)
+        b = replace(
+            a, runtime="other", verdicts={**a.verdicts, "ordered": False}
+        )
+        report = ConformanceReport(results=(a, b))
+        assert not report.identical
+        divergence = report.first_divergence()
+        assert divergence["alert_index"] is None
+        assert "verdicts differ" in report.explain()

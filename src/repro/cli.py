@@ -13,6 +13,8 @@ Everything the benchmarks do, driveable from a shell::
     python -m repro maximality
     python -m repro availability --trials 30
     python -m repro chaos --intensities 0 1 2 --trials 30
+    python -m repro quality --row aggressive --trials 20
+    python -m repro quality --losses 0 0.3 --intensities 0 1 --json out.json
     python -m repro feed record aggressive --seed 7 --out run.feed.jsonl
     python -m repro feed conform run.feed.jsonl   # all runtimes identical?
     python -m repro serve --port 7801             # online monitoring service
@@ -38,6 +40,7 @@ from repro.analysis.tables import EXPECTED_GRIDS, build_table, render_table
 from repro.analysis.witness import counterexample_from_run, shrink_counterexample
 from repro.displayers.registry import algorithm_info, algorithm_names, make_ad
 from repro.workloads.scenarios import (
+    DIVERSITY_ROWS,
     MULTI_VARIABLE_SCENARIOS,
     ROW_ORDER,
     SINGLE_VARIABLE_SCENARIOS,
@@ -101,7 +104,11 @@ def _print_table_counters(result) -> None:
 def _scenario_for(row: str, multi: bool):
     scenarios = MULTI_VARIABLE_SCENARIOS if multi else SINGLE_VARIABLE_SCENARIOS
     if row not in scenarios:
-        raise SystemExit(f"unknown scenario {row!r}; rows: {list(ROW_ORDER)}")
+        raise SystemExit(
+            f"unknown scenario {row!r} in the"
+            f" {'multi' if multi else 'single'}-variable matrix;"
+            f" rows: {sorted(scenarios)}"
+        )
     return scenarios[row]
 
 
@@ -328,6 +335,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"--updates {args.updates} --chaos <intensity> --seed <seed>"
         )
     return 0 if shape_ok else 1
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    from repro.engine import TrialEngine, resolve_processes
+    from repro.quality import (
+        adaptive_matches_best_static,
+        quality_json,
+        quality_sweep,
+        render_quality_table,
+    )
+
+    kwargs = dict(
+        algorithms=args.algorithms,
+        losses=args.losses,
+        intensities=args.intensities,
+        trials=args.trials,
+        row=args.row,
+        matrix=args.matrix,
+        n_updates=args.updates,
+        replication=args.replication,
+        kernel=args.kernel,
+    )
+    if resolve_processes(args.processes) > 1:
+        with TrialEngine(processes=args.processes) as engine:
+            cells = quality_sweep(engine=engine, **kwargs)
+    else:
+        cells = quality_sweep(**kwargs)
+    print(render_quality_table(cells))
+    gate = adaptive_matches_best_static(cells)
+    print(
+        "adaptive missed-alert rate <= best static at every point: "
+        f"{'YES' if gate else 'NO'}"
+    )
+    if args.json:
+        import json as json_module
+
+        document = quality_json(
+            cells,
+            row=args.row,
+            matrix=args.matrix,
+            trials=args.trials,
+            n_updates=args.updates,
+        )
+        with open(args.json, "w") as handle:
+            json_module.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.check and not gate:
+        return 1
+    return 0
 
 
 def _cmd_chaos_churn(args: argparse.Namespace) -> int:
@@ -677,7 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.set_defaults(func=_cmd_tables)
 
     p_scenario = sub.add_parser("scenario", help="run one randomized trial")
-    p_scenario.add_argument("row", choices=list(ROW_ORDER))
+    p_scenario.add_argument("row", choices=sorted({*ROW_ORDER, *DIVERSITY_ROWS}))
     p_scenario.add_argument("--algorithm", default="AD-1")
     p_scenario.add_argument("--seed", type=int, default=0)
     p_scenario.add_argument("--updates", type=int, default=30)
@@ -899,6 +956,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="(--churn) where a recovering CE replays history from",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_quality = sub.add_parser(
+        "quality",
+        help="sweep alert quality (precision/recall/duplicates/latency "
+        "vs ground truth) over algorithm x loss x fault intensity, "
+        "with the adaptive-vs-static missed-alert gate",
+    )
+    p_quality.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["AD-1", "AD-2", "AD-3", "AD-4", "adaptive"],
+        help="AD algorithms to compare (same seeds per grid point)",
+    )
+    p_quality.add_argument(
+        "--losses",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.15, 0.3],
+        help="front-link loss probabilities",
+    )
+    p_quality.add_argument(
+        "--intensities",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.5, 1.0, 2.0],
+        help="chaos knob values scaling the default fault profile "
+        "(includes delay spikes, so this is also the delay axis)",
+    )
+    p_quality.add_argument("--trials", type=int, default=20)
+    p_quality.add_argument(
+        "--row",
+        choices=sorted({*ROW_ORDER, *DIVERSITY_ROWS}),
+        default="aggressive",
+        help="scenario row (historical rows separate the algorithms "
+        "most; diversity rows need --matrix multi for zipfian/correlated)",
+    )
+    p_quality.add_argument(
+        "--matrix", choices=("single", "multi"), default="single"
+    )
+    p_quality.add_argument("--updates", type=int, default=30)
+    p_quality.add_argument("--replication", type=int, default=2)
+    p_quality.add_argument(
+        "--kernel", choices=("object", "array"), default="array",
+        help="trial executor (array = fast path, object = oracle)",
+    )
+    p_quality.add_argument(
+        "--processes",
+        type=_processes_arg,
+        default=1,
+        help="fan trials out over N worker processes ('auto' = CPU count)",
+    )
+    p_quality.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the sweep as a BENCH_quality.json document",
+    )
+    p_quality.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless the adaptive algorithm's missed-alert rate "
+        "is <= the best static's at every grid point",
+    )
+    p_quality.set_defaults(func=_cmd_quality)
 
     p_feed = sub.add_parser(
         "feed", help="record, replay and conformance-check update feeds"

@@ -17,7 +17,13 @@ from typing import Iterable
 from repro.core.history import HistorySnapshot
 from repro.core.update import Update
 
-__all__ = ["Alert", "make_alert", "alert_identity_set", "project_alert_seqnos"]
+__all__ = [
+    "Alert",
+    "make_alert",
+    "alert_identity_set",
+    "alert_event_key",
+    "project_alert_seqnos",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,19 @@ def make_alert(
 def alert_identity_set(alerts: Iterable[Alert]) -> frozenset[tuple]:
     """``ΦA`` with alert identity = (condname, history seqnos)."""
     return frozenset(a.identity() for a in alerts)
+
+
+def alert_event_key(alert: Alert, variables: Iterable[str]) -> tuple:
+    """The real-world *event* an alert reports: its head-seqno vector.
+
+    Two CEs that observed the same trigger through different histories
+    (a lossy replica has gaps where its peer does not) emit alerts with
+    different identities but the same head seqnos — the same event, seen
+    twice.  The quality metrics and the adaptive displayer key on this
+    coarser equivalence: full identity distinguishes *evidence*, the
+    event key distinguishes *occurrences*.
+    """
+    return (alert.condname, tuple(alert.seqno(var) for var in variables))
 
 
 def project_alert_seqnos(alerts: Iterable[Alert], varname: str) -> list[int]:

@@ -134,6 +134,7 @@ _MINIMUM: dict[str, AlertEncoding] = {
     "AD-4": AlertEncoding.SEQNOS,
     "AD-5": AlertEncoding.HEADS,      # per-variable head comparisons
     "AD-6": AlertEncoding.SEQNOS,
+    "adaptive": AlertEncoding.SEQNOS,  # may escalate to AD-3/AD-6
 }
 
 

@@ -6,6 +6,7 @@ from repro.displayers.ad3 import AD3, ConflictTracker
 from repro.displayers.ad4 import AD4
 from repro.displayers.ad5 import AD5
 from repro.displayers.ad6 import AD6
+from repro.displayers.adaptive import AdaptiveAD
 from repro.displayers.base import ADAlgorithm, run_ad
 from repro.displayers.delayed import DelayedDisplayAD, attach_delayed_ad
 from repro.displayers import pseudocode
@@ -25,6 +26,7 @@ __all__ = [
     "AD5",
     "AD6",
     "ADAlgorithm",
+    "AdaptiveAD",
     "AlgorithmInfo",
     "ConflictTracker",
     "DelayedDisplayAD",

@@ -62,4 +62,6 @@ class AD6(ADAlgorithm):
                     f"history conflict in {var}: Received/Missed state "
                     f"contradicts {alert.shorthand()}"
                 )
-        return f"rejected by {self.name}"
+        # Reached only when called off-contract (the alert would in fact
+        # be accepted); say so concretely rather than naming the algorithm.
+        return f"no rejection: {self.name} would accept {alert.shorthand()}"

@@ -69,9 +69,20 @@ class ADAlgorithm:
         False; a rejected offer leaves state untouched, so the explanation
         is computed against exactly the state that made the decision.
         Must not mutate state.  Subclasses override with algorithm-specific
-        reasons; the default names only the algorithm.
+        reasons; the default names the concrete cause it can deduce from
+        the base-class state — an exact re-arrival of a displayed alert is
+        reported as a duplicate, anything else as a predicate rejection of
+        that specific alert.  Reason strings are load-bearing: the
+        fuzzer's coverage signatures and the adaptive displayer's policy
+        counters both classify on them.
         """
-        return f"rejected by {self.name}"
+        if any(alert.identity() == shown.identity() for shown in self._output):
+            return (
+                f"duplicate: history set of {alert.shorthand()} already displayed"
+            )
+        return (
+            f"predicate rejection: {self.name} state excludes {alert.shorthand()}"
+        )
 
     # -- to be implemented by concrete algorithms ---------------------------
     def _accept(self, alert: Alert) -> bool:

@@ -9,6 +9,7 @@ which the table benchmarks compare against measurements.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from repro.core.condition import Condition
@@ -18,6 +19,7 @@ from repro.displayers.ad3 import AD3
 from repro.displayers.ad4 import AD4
 from repro.displayers.ad5 import AD5
 from repro.displayers.ad6 import AD6
+from repro.displayers.adaptive import AdaptiveAD
 from repro.displayers.base import ADAlgorithm
 
 __all__ = ["make_ad", "algorithm_names", "AlgorithmInfo", "algorithm_info", "PassThrough"]
@@ -55,6 +57,10 @@ _INFO = {
     "AD-4": AlgorithmInfo("AD-4", False, True, True, "Fig A-4"),
     "AD-5": AlgorithmInfo("AD-5", True, True, False, "Fig A-5"),
     "AD-6": AlgorithmInfo("AD-6", True, True, True, "Fig A-6"),
+    # AD-7: runtime selection over the ladder above.  The recall guard
+    # deliberately trades the formal guarantees for maximal event
+    # detection, so it claims neither orderedness nor consistency.
+    "adaptive": AlgorithmInfo("adaptive", True, False, False, "—"),
 }
 
 
@@ -92,4 +98,11 @@ def make_ad(name: str, condition: Condition) -> ADAlgorithm:
         return AD5(variables)
     if name == "AD-6":
         return AD6(variables)
+    if name == "adaptive":
+        # Seed the policy from the condition name so different conditions
+        # jitter their windows differently, yet every run of the same
+        # condition — any kernel, any runtime — derives the same policy.
+        return AdaptiveAD(
+            variables, policy_seed=zlib.crc32(condition.name.encode())
+        )
     raise KeyError(f"unknown AD algorithm {name!r}; known: {list(_INFO)}")

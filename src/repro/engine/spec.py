@@ -60,6 +60,10 @@ class TrialSpec:
     #: Also compute ground-truth delivery stats and attach them to the
     #: report (``PropertyReport.delivery``) — what chaos sweeps aggregate.
     collect_delivery: bool = False
+    #: Also compute event-keyed alert quality (precision/recall/latency
+    #: against the single-replica ground truth) and attach it to the
+    #: report (``PropertyReport.quality``) — what quality sweeps fold.
+    collect_quality: bool = False
     #: Like ``collect_counters`` but with a ReasonCountersTracer, whose
     #: keys splice event ``reason`` payloads into the kind segment
     #: (``link/drop:burst/...``, ``ad/filter:<why>/...``) — the input of
@@ -149,4 +153,8 @@ class TrialSpec:
                     "extraneous": stats.extraneous,
                 },
             )
+        if self.collect_quality:
+            from repro.quality.metrics import alert_quality
+
+            report = replace(report, quality=alert_quality(run).as_dict())
         return report

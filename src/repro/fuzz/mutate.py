@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import replace
 from random import Random
 
-from repro.engine.spec import TrialSpec
+from repro.engine.spec import SCENARIO_MATRICES, TrialSpec
 from repro.faults.plan import (
     DEFAULT_CHAOS_PROFILE,
     DEFAULT_CHURN_PROFILE,
@@ -155,6 +155,19 @@ def _transplant_churn(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
     return replace(spec, faults=profile, membership=MembershipConfig())
 
 
+def _mutate_row(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
+    """Jump to another scenario row of the same matrix — including the
+    diversity rows (bursty / zipfian / correlated traffic shapes), which
+    live outside the tables' ROW_ORDER but are fully simulable.  Staying
+    within the matrix preserves the variable count, so single-variable
+    algorithms (AD-2/3/4) remain constructible."""
+    rows = sorted(SCENARIO_MATRICES[spec.matrix])
+    others = [row for row in rows if row != spec.row]
+    if not others:
+        return spec
+    return replace(spec, row=rng.choice(others))
+
+
 def _mutate_shards(spec: TrialSpec, rng: Random, limits) -> TrialSpec:
     """Move the run to a different shard count (1 = drop sharding)."""
     current = spec.sharding.shards if spec.sharding is not None else 1
@@ -187,6 +200,7 @@ _CATALOG = (
     (_mutate_updates, 3),
     (_mutate_membership_field, 3),
     (_mutate_loss, 2),
+    (_mutate_row, 2),
     (_transplant_chaos, 1),
     (_transplant_churn, 1),
     (_mutate_replication, 1),

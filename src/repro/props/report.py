@@ -95,6 +95,12 @@ class PropertyReport:
     #: the replica set was below quorum from steady-state ones.
     #: Excluded from equality like ``counters``.
     churn: dict | None = field(default=None, compare=False)
+    #: Optional event-keyed alert quality (the JSON-safe digest of
+    #: :func:`repro.quality.alert_quality`), attached when the trial ran
+    #: with ``TrialSpec.collect_quality`` — what quality sweeps fold into
+    #: precision/recall/latency cells.  Excluded from equality like
+    #: ``counters``.
+    quality: dict | None = field(default=None, compare=False)
 
     @property
     def completeness_decided(self) -> bool:

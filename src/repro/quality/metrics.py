@@ -1,0 +1,197 @@
+"""Per-run alert-quality metrics against the single-replica ground truth.
+
+The ground truth is the same ideal system the availability analysis uses
+(:mod:`repro.analysis.metrics`): one co-located CE fed the merged DM
+broadcast log — no loss, no downtime.  Every alert that system raises is
+a real-world *event*, keyed by its head-seqno vector
+(:func:`~repro.core.alert.alert_event_key`) and stamped with the
+broadcast time of the update that triggered it.
+
+Displayed alerts are then classified event by event:
+
+* **detection** — the first displayed alert carrying an expected event
+  key; its latency sample is display time − trigger time;
+* **duplicate** — a further displayed alert re-carrying an already
+  detected key (two CEs reporting the same occurrence through different
+  histories — exactly the near-duplicates identity-based AD-1 cannot
+  see);
+* **false alert** — a displayed alert whose event key the ideal system
+  never produced (a lossy replica hallucinating a trigger through a
+  gapped history).
+
+Identity-level set comparison (``DeliveryStats``) cannot distinguish a
+re-detection from new information; the event-keyed view can, which is
+what makes precision/duplicate-rate meaningful per AD algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel import percentile
+from repro.components.system import RunResult
+from repro.core.alert import Alert, alert_event_key
+from repro.core.evaluator import ConditionEvaluator
+
+__all__ = [
+    "AlertQuality",
+    "alert_quality",
+    "ground_truth_events",
+    "displayed_with_times",
+]
+
+
+@dataclass(frozen=True)
+class AlertQuality:
+    """Event-keyed quality of one run's displayed alert sequence."""
+
+    #: Events the ideal single-replica system raised.
+    expected: int
+    #: Expected events detected at least once.
+    detected: int
+    #: Displayed alerts re-carrying an already-detected event key.
+    duplicates: int
+    #: Displayed alerts whose event key the ideal system never raised.
+    false_alerts: int
+    #: Total alerts displayed (= detected + duplicates + false_alerts).
+    displayed: int
+    #: Alerts the AD filtered out.
+    filtered: int
+    #: Alerts that arrived at the AD (= displayed + filtered).
+    arrivals: int
+    #: display time − trigger time per detection, in arrival order.
+    latency_samples: tuple[float, ...]
+
+    @property
+    def missed(self) -> int:
+        return self.expected - self.detected
+
+    @property
+    def precision(self) -> float:
+        """Fraction of displayed alerts that were first detections."""
+        if self.displayed == 0:
+            return 1.0
+        return self.detected / self.displayed
+
+    @property
+    def recall(self) -> float:
+        """Fraction of expected events detected at least once."""
+        if self.expected == 0:
+            return 1.0
+        return self.detected / self.expected
+
+    @property
+    def missed_rate(self) -> float:
+        if self.expected == 0:
+            return 0.0
+        return self.missed / self.expected
+
+    @property
+    def duplicate_rate(self) -> float:
+        if self.displayed == 0:
+            return 0.0
+        return self.duplicates / self.displayed
+
+    @property
+    def false_rate(self) -> float:
+        if self.displayed == 0:
+            return 0.0
+        return self.false_alerts / self.displayed
+
+    @property
+    def latency_p50(self) -> float | None:
+        if not self.latency_samples:
+            return None
+        return percentile(self.latency_samples, 50.0)
+
+    @property
+    def latency_p99(self) -> float | None:
+        if not self.latency_samples:
+            return None
+        return percentile(self.latency_samples, 99.0)
+
+    def as_dict(self) -> dict:
+        """JSON-safe digest carried on ``PropertyReport.quality``."""
+        return {
+            "expected": self.expected,
+            "detected": self.detected,
+            "missed": self.missed,
+            "duplicates": self.duplicates,
+            "false_alerts": self.false_alerts,
+            "displayed": self.displayed,
+            "filtered": self.filtered,
+            "arrivals": self.arrivals,
+            "precision": self.precision,
+            "recall": self.recall,
+            "latency_samples": list(self.latency_samples),
+        }
+
+
+def ground_truth_events(run: RunResult) -> dict[tuple, float]:
+    """Expected event key → trigger time (broadcast time of the trigger).
+
+    Feeds the merged broadcast log through a fresh evaluator — the ideal
+    co-located CE — noting *when* each alert fires.  Head-seqno vectors
+    are unique per trigger (each fire incorporates a fresh seqno in the
+    triggering variable), so the mapping is injective.
+    """
+    evaluator = ConditionEvaluator(run.condition, source="N")
+    events: dict[tuple, float] = {}
+    variables = run.condition.variables
+    for time, update in run.sent_log:
+        alert = evaluator.ingest(update)
+        if alert is not None:
+            events.setdefault(alert_event_key(alert, variables), time)
+    return events
+
+
+def displayed_with_times(run: RunResult) -> list[tuple[Alert, float]]:
+    """The displayed sequence paired with its AD arrival (display) times.
+
+    ``displayed`` is a subsequence of ``ad_arrivals``; alerts compare by
+    value, so greedy subsequence matching recovers each displayed
+    alert's arrival stamp on both kernels.
+    """
+    out: list[tuple[Alert, float]] = []
+    next_display = 0
+    displayed = run.displayed
+    for alert, time in zip(run.ad_arrivals, run.ad_arrival_times):
+        if next_display < len(displayed) and displayed[next_display] == alert:
+            out.append((displayed[next_display], time))
+            next_display += 1
+    if next_display != len(displayed):
+        raise ValueError(
+            f"displayed is not a subsequence of arrivals: matched "
+            f"{next_display} of {len(displayed)}"
+        )
+    return out
+
+
+def alert_quality(run: RunResult) -> AlertQuality:
+    """Classify one run's displayed alerts against the ground truth."""
+    expected = ground_truth_events(run)
+    variables = run.condition.variables
+    detected: set[tuple] = set()
+    duplicates = 0
+    false_alerts = 0
+    latencies: list[float] = []
+    for alert, time in displayed_with_times(run):
+        key = alert_event_key(alert, variables)
+        trigger = expected.get(key)
+        if trigger is None:
+            false_alerts += 1
+        elif key in detected:
+            duplicates += 1
+        else:
+            detected.add(key)
+            latencies.append(time - trigger)
+    return AlertQuality(
+        expected=len(expected),
+        detected=len(detected),
+        duplicates=duplicates,
+        false_alerts=false_alerts,
+        displayed=len(run.displayed),
+        filtered=len(run.filtered),
+        arrivals=len(run.ad_arrivals),
+        latency_samples=tuple(latencies),
+    )

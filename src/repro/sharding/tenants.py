@@ -32,11 +32,13 @@ from repro.core.update import Update
 from repro.displayers.registry import make_ad
 from repro.service.runtime import merge_stamped
 from repro.sharding.ring import HashRing, ShardConfig
+from repro.workloads.generators import zipf_counts
 
 __all__ = [
     "tenant_variable",
     "make_tenant_condition",
     "partition_tenants",
+    "zipfian_update_counts",
     "run_tenant",
     "run_shard",
     "ShardBatchResult",
@@ -82,6 +84,24 @@ def partition_tenants(
     for index in range(count):
         shards[ring.shard_for(tenant_variable(index))].append(index)
     return shards
+
+
+def zipfian_update_counts(
+    count: int,
+    total_updates: int,
+    seed: int,
+    exponent: float = 1.2,
+) -> list[int]:
+    """Per-tenant update counts under Zipf popularity (head-heavy).
+
+    Real tenant populations are skewed: a few hot tenants produce most
+    of the traffic, the long tail barely updates.  The counts are a pure
+    function of ``(count, total_updates, seed, exponent)`` — independent
+    of any shard layout — so a population generated this way produces
+    identical per-tenant outputs at every shard count, which the
+    cross-shard conformance suite asserts over the XOR'd digests.
+    """
+    return zipf_counts(Random(f"zipf/{seed}"), total_updates, count, exponent)
 
 
 def _tenant_stream(index: int, seed: int, n_updates: int) -> list[Update]:
@@ -190,13 +210,23 @@ def run_shard(
     seed: int,
     n_updates: int = 12,
     replication: int = 2,
+    update_counts: "dict[int, int] | None" = None,
 ) -> ShardBatchResult:
     """Execute one shard's tenant batch (generation included — a real
-    shard owns its tenants' whole lifecycle)."""
+    shard owns its tenants' whole lifecycle).
+
+    ``update_counts`` optionally overrides the per-tenant update volume
+    (tenant index → count) — how Zipf-skewed populations from
+    :func:`zipfian_update_counts` reach the workers; tenants outside the
+    mapping fall back to the uniform ``n_updates``.
+    """
     updates = alerts = displayed = 0
     digests: list[str] = []
+    counts = update_counts or {}
     for index in tenant_indices:
-        result = run_tenant(index, seed, n_updates, replication)
+        result = run_tenant(
+            index, seed, counts.get(index, n_updates), replication
+        )
         updates += result.updates
         alerts += result.alerts
         displayed += result.displayed

@@ -23,6 +23,11 @@ __all__ = [
     "rising_runs",
     "stock_quotes",
     "paired_reactors",
+    "bursty_readings",
+    "zipf_weights",
+    "zipf_counts",
+    "zipfian_workload",
+    "correlated_updates",
 ]
 
 Readings = list[tuple[float, float]]
@@ -187,3 +192,190 @@ def paired_reactors(
         current += (base + phase - current) * 0.25
         values.append(round(current, 1))
     return evenly_spaced(values, interval)
+
+
+def bursty_readings(
+    rng: Random,
+    n: int,
+    burst_mean: int = 4,
+    burst_interval: float = 2.0,
+    idle_interval: float = 40.0,
+    threshold: float = 3000.0,
+    margin: float = 150.0,
+) -> Readings:
+    """On/off traffic: tight bursts of readings separated by long idles.
+
+    Real monitored sources are rarely metronomic — an instrument streams
+    while an episode is in progress and goes quiet between episodes.
+    Readings inside a burst are ``burst_interval`` apart (well under any
+    delay spread, so replica interleavings genuinely scramble); bursts
+    are separated by ``idle_interval``.  Burst lengths are geometric
+    with mean ``burst_mean``.  Values flip around ``threshold`` like
+    :func:`threshold_crossers`, so c1-family conditions keep firing.
+
+    The duty cycle is bounded: with ``k`` readings in a burst the burst
+    spans ``(k-1) * burst_interval``, so the fraction of the total span
+    inside bursts is at most ``burst_interval / (burst_interval +
+    idle_interval / burst_mean)`` in expectation — bursty by
+    construction, which the generator tests pin.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if burst_mean < 1:
+        raise ValueError(f"burst_mean must be >= 1, got {burst_mean}")
+    if burst_interval <= 0 or idle_interval <= 0:
+        raise ValueError("intervals must be positive")
+    readings: Readings = []
+    time = 0.0
+    left_in_burst = 0
+    continue_prob = 1.0 - 1.0 / burst_mean
+    for i in range(n):
+        if i == 0:
+            left_in_burst = 1
+        elif left_in_burst > 0 and rng.random() < continue_prob:
+            time += burst_interval
+        else:
+            time += idle_interval
+            left_in_burst = 0
+        left_in_burst += 1
+        if rng.random() < 0.5:
+            value = threshold + rng.uniform(1.0, margin)
+        else:
+            value = threshold - rng.uniform(1.0, margin)
+        readings.append((round(time, 3), round(value, 1)))
+    return readings
+
+
+def zipf_weights(k: int, exponent: float = 1.2) -> list[float]:
+    """Normalized Zipf popularity over ``k`` ranks: P(rank r) ∝ r^-s."""
+    if k < 1:
+        raise ValueError(f"need at least one rank, got {k}")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    raw = [(rank + 1) ** -exponent for rank in range(k)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def zipf_counts(rng: Random, n: int, k: int, exponent: float = 1.2) -> list[int]:
+    """How many of ``n`` events land on each of ``k`` Zipf-ranked sources.
+
+    Multinomial sampling over :func:`zipf_weights` — the head ranks get
+    most of the traffic, the tail starves, which is the popularity shape
+    of real tenant populations.
+    """
+    counts = [0] * k
+    weights = zipf_weights(k, exponent)
+    bounds = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        bounds.append(acc)
+    for _ in range(n):
+        roll = rng.random()
+        for rank, bound in enumerate(bounds):
+            if roll < bound:
+                counts[rank] += 1
+                break
+        else:  # float summation tail
+            counts[-1] += 1
+    return counts
+
+
+def zipfian_workload(
+    rng: Random,
+    n: int,
+    variables: tuple[str, ...] = ("x", "y"),
+    exponent: float = 1.2,
+    interval: float = 10.0,
+    threshold: float = 3000.0,
+    margin: float = 150.0,
+) -> dict[str, Readings]:
+    """``n`` update slots split across variables by Zipf popularity.
+
+    Each slot ``i`` (at time ``i * interval``) is assigned to one
+    variable, drawn from the Zipf law over the variables' rank order —
+    so the head variable updates often and the tail rarely, skewing the
+    cross-variable interleavings the multi-variable checkers explore.
+    Every variable is guaranteed at least one reading (conditions need
+    defined histories), taken from its first assigned slot or prepended
+    at the head of the schedule.
+    """
+    if not variables:
+        raise ValueError("need at least one variable")
+    per_var: dict[str, Readings] = {var: [] for var in variables}
+
+    def value() -> float:
+        if rng.random() < 0.5:
+            return round(threshold + rng.uniform(1.0, margin), 1)
+        return round(threshold - rng.uniform(1.0, margin), 1)
+
+    weights = zipf_weights(len(variables), exponent)
+    bounds = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        bounds.append(acc)
+    for slot in range(n):
+        roll = rng.random()
+        choice = len(variables) - 1
+        for rank, bound in enumerate(bounds):
+            if roll < bound:
+                choice = rank
+                break
+        per_var[variables[choice]].append((slot * interval, value()))
+    # Starved variables still need one reading to define H.
+    for var in variables:
+        if not per_var[var]:
+            per_var[var].insert(0, (0.0, value()))
+    return per_var
+
+
+def correlated_updates(
+    rng: Random,
+    n: int,
+    variables: tuple[str, ...] = ("x", "y"),
+    co_arrival_prob: float = 0.8,
+    lag: float = 0.5,
+    base: float = 1000.0,
+    sway: float = 90.0,
+    divergence_prob: float = 0.35,
+    divergence: float = 160.0,
+    interval: float = 10.0,
+) -> dict[str, Readings]:
+    """Correlated multi-variable updates with near-simultaneous arrival.
+
+    The primary variable takes ``n`` readings on the usual cadence; with
+    probability ``co_arrival_prob`` each one is echoed on every other
+    variable ``lag`` time units later with a correlated value (the same
+    excursion plus noise) — two sensors on one physical process.  The
+    co-arrival bursts hit the AD's merge window far harder than
+    independent streams: both variables' seqnos advance almost at once,
+    which is the regime where AD-5/AD-6's cross-variable checks earn
+    their keep.  Slots whose echo was skipped stay silent on the
+    secondary variables, so their cadence is sparser than the primary's.
+    Every variable gets at least one reading (conditions need defined
+    histories).
+    """
+    if not 0.0 <= co_arrival_prob <= 1.0:
+        raise ValueError(f"co_arrival_prob must be in [0,1], got {co_arrival_prob}")
+    if not variables:
+        raise ValueError("need at least one variable")
+    primary, *rest = variables
+    per_var: dict[str, Readings] = {var: [] for var in variables}
+    current = base
+    for slot in range(n):
+        current += rng.uniform(-sway, sway)
+        if rng.random() < divergence_prob:
+            current += rng.choice([-1.0, 1.0]) * divergence * rng.uniform(0.8, 1.5)
+        current += (base - current) * 0.25
+        time = slot * interval
+        per_var[primary].append((time, round(current, 1)))
+        if rest and rng.random() < co_arrival_prob:
+            for k, var in enumerate(rest):
+                echo = current + rng.uniform(-0.2, 0.2) * sway
+                per_var[var].append((time + lag * (k + 1), round(echo, 1)))
+    for var in rest:
+        if not per_var[var]:
+            per_var[var].insert(0, (0.0, round(base, 1)))
+    return per_var

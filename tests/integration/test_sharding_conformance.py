@@ -189,6 +189,71 @@ class TestShardedService:
             assert forwarded == len(feed.deliveries)
 
 
+class TestZipfianTenantPopulation:
+    """A Zipf-skewed 100-tenant population through shards ∈ {1, 4}.
+
+    Per-tenant update volumes come from
+    :func:`~repro.sharding.tenants.zipfian_update_counts` — a pure
+    function of ``(count, total, seed, exponent)``, independent of any
+    ring layout — so both shard counts must fold to the same XOR'd
+    digest aggregate and identical global counters, hot head tenants
+    and starved tail included.
+    """
+
+    TENANTS = 100
+    TOTAL_UPDATES = 1200
+    SEED = 42
+
+    def _aggregate(self, shards: int):
+        from repro.sharding.ring import ShardConfig as Ring
+        from repro.sharding.tenants import (
+            ShardBatchResult,
+            partition_tenants,
+            run_shard,
+            zipfian_update_counts,
+        )
+
+        counts = zipfian_update_counts(
+            self.TENANTS, self.TOTAL_UPDATES, self.SEED
+        )
+        per_tenant = {index: count for index, count in enumerate(counts)}
+        batches = [
+            run_shard(shard, indices, self.SEED, update_counts=per_tenant)
+            for shard, indices in enumerate(
+                partition_tenants(self.TENANTS, Ring(shards=shards))
+            )
+        ]
+        return {
+            "tenants": sum(b.tenants for b in batches),
+            "updates": sum(b.updates for b in batches),
+            "alerts": sum(b.alerts for b in batches),
+            "displayed": sum(b.displayed for b in batches),
+            "digest": ShardBatchResult.combine_digests(
+                [b.digest for b in batches]
+            ),
+        }
+
+    def test_one_and_four_shards_fold_identically(self):
+        one = self._aggregate(1)
+        four = self._aggregate(4)
+        assert one == four
+        assert one["tenants"] == self.TENANTS
+        assert 0 < one["displayed"] <= one["alerts"]
+
+    def test_population_is_actually_skewed(self):
+        from repro.sharding.tenants import zipfian_update_counts
+
+        counts = zipfian_update_counts(
+            self.TENANTS, self.TOTAL_UPDATES, self.SEED
+        )
+        assert sum(counts) == self.TOTAL_UPDATES
+        # Head-heavy: the hottest tenant out-updates the whole tail
+        # half, and some tail tenants are fully starved.
+        assert max(counts) == counts[0]
+        assert counts[0] > sum(counts[50:])
+        assert min(counts) == 0
+
+
 class TestRebalanceMidFeed:
     @pytest.mark.parametrize("cut", [0, 1, 17, 10_000])
     def test_resize_mid_feed_is_invisible(self, cut):

@@ -261,6 +261,7 @@ class TestRegistry:
             "AD-4",
             "AD-5",
             "AD-6",
+            "adaptive",
         }
 
     def test_make_single_variable(self):

@@ -136,14 +136,23 @@ class TestMutateSpec:
                     else:
                         assert value >= 0.0
 
-    def test_never_touches_the_scenario_cell(self):
+    def test_never_touches_matrix_or_algorithm(self):
+        # The row may jump (to any row of the same matrix, including the
+        # diversity traffic shapes), but the matrix and algorithm pin the
+        # fuzz campaign's cell: changing them would change which
+        # single-variable algorithms are even constructible.
+        from repro.engine.spec import SCENARIO_MATRICES
+
         rng = Random("m/2")
+        rows = set()
         for _ in range(100):
             child = mutate_spec(BASE_SPEC, rng)
             assert child.matrix == BASE_SPEC.matrix
-            assert child.row == BASE_SPEC.row
             assert child.algorithm == BASE_SPEC.algorithm
+            assert child.row in SCENARIO_MATRICES[child.matrix]
             assert child.collect_coverage
+            rows.add(child.row)
+        assert len(rows) > 1  # the row-jump mutation is actually live
 
     def test_bad_limits_rejected(self):
         with pytest.raises(ValueError):

@@ -8,7 +8,9 @@ import pytest
 from repro.cli import main
 from repro.core.alert import make_alert
 from repro.core.update import Update
+from repro.displayers import AD1, AD2, AD3, AD4, AD5, AD6
 from repro.displayers.registry import make_ad
+from tests.conftest import alert_deg1, alert_deg2, alert_xy
 from repro.engine.spec import TrialSpec
 from repro.observability import (
     SCHEMA_VERSION,
@@ -226,6 +228,118 @@ class TestRejectionReasons:
         alert = make_alert("c1", {"x": [Update("x", 1, 1.0)]}, source="CE1")
         assert not algorithm.offer(alert)
         assert "opaque" in algorithm.rejection_reason(alert)
+
+
+class TestReasonStringsPerAlgorithm:
+    """The exact reason class each algorithm reports per rejection cause.
+
+    These strings are load-bearing: the fuzzer's coverage signatures and
+    the adaptive displayer's policy counters both classify on them, so a
+    rewording is a behaviour change, not a cosmetic one.
+    """
+
+    def test_base_default_distinguishes_duplicate_from_predicate(self):
+        from repro.displayers.base import ADAlgorithm
+
+        class FirstOnly(ADAlgorithm):
+            name = "first-only"
+
+            def _accept(self, alert):
+                return not self._output
+
+        algorithm = FirstOnly()
+        shown = alert_deg1(1)
+        assert algorithm.offer(shown)
+        # Re-arrival of a displayed identity → the duplicate reason.
+        rearrival = alert_deg1(1)
+        assert not algorithm.offer(rearrival)
+        assert algorithm.rejection_reason(rearrival).startswith(
+            "duplicate: history set of"
+        )
+        # A novel alert the predicate refuses → the predicate reason.
+        novel = alert_deg1(2)
+        assert not algorithm.offer(novel)
+        reason = algorithm.rejection_reason(novel)
+        assert reason.startswith("predicate rejection: first-only")
+
+    def test_ad1_reports_duplicates(self):
+        ad = AD1()
+        assert ad.offer(alert_deg1(1))
+        duplicate = alert_deg1(1)
+        assert not ad.offer(duplicate)
+        assert ad.rejection_reason(duplicate).startswith(
+            "duplicate: history set of"
+        )
+
+    def test_ad2_reports_seqno_regression(self):
+        ad = AD2("x")
+        assert ad.offer(alert_deg1(2))
+        stale = alert_deg1(1)
+        assert not ad.offer(stale)
+        reason = ad.rejection_reason(stale)
+        assert reason.startswith("seqno regression")
+        assert "a.seqno.x=1" in reason and "last displayed 2" in reason
+
+    def test_ad3_reports_duplicate_and_conflict(self):
+        ad = AD3("x")
+        assert ad.offer(alert_deg2(2, 1))
+        duplicate = alert_deg2(2, 1)
+        assert not ad.offer(duplicate)
+        assert ad.rejection_reason(duplicate).startswith("duplicate")
+        # ⟨3,1⟩ claims update 2 missed; the displayed ⟨2,1⟩ received it.
+        skipper = alert_deg2(3, 1)
+        assert not ad.offer(skipper)
+        assert "history conflict in x" in ad.rejection_reason(skipper)
+
+    def test_ad4_delegates_to_the_deciding_constituent(self):
+        ad = AD4("x")
+        assert ad.offer(alert_deg2(2, 1))
+        stale = alert_deg2(1, 0)
+        assert not ad.offer(stale)
+        assert "seqno regression" in ad.rejection_reason(stale)
+        skipper = alert_deg2(3, 1)
+        assert not ad.offer(skipper)
+        assert "history conflict" in ad.rejection_reason(skipper)
+
+    def test_ad5_reports_inversion_and_all_equal_duplicate(self):
+        ad = AD5(("x", "y"))
+        assert ad.offer(alert_xy(2, 2))
+        inverted = alert_xy(1, 3)
+        assert not ad.offer(inverted)
+        reason = ad.rejection_reason(inverted)
+        assert reason.startswith("seqno inversion in x")
+        assert "a.seqno.x=1" in reason
+        equal = alert_xy(2, 2)
+        assert not ad.offer(equal)
+        assert ad.rejection_reason(equal).startswith(
+            "duplicate: seqnos equal last displayed"
+        )
+
+    def test_ad6_delegates_and_reports_per_variable_conflicts(self):
+        def xy_hist(x_seqnos, y_seqnos):
+            return make_alert(
+                "cm",
+                {
+                    "x": [Update("x", s, 0.0) for s in x_seqnos],
+                    "y": [Update("y", s, 0.0) for s in y_seqnos],
+                },
+            )
+
+        ad = AD6(("x", "y"))
+        assert ad.offer(xy_hist([2, 1], [1]))
+        inverted = xy_hist([1], [1])
+        assert not ad.offer(inverted)
+        assert "seqno inversion in x" in ad.rejection_reason(inverted)
+        # ⟨3,1⟩ in x claims update 2 missed after ⟨2,1⟩ received it.
+        skipper = xy_hist([3, 1], [1])
+        assert not ad.offer(skipper)
+        assert "history conflict in x" in ad.rejection_reason(skipper)
+
+    def test_ad6_off_contract_fallback_names_the_acceptance(self):
+        ad = AD6(("x", "y"))
+        acceptable = alert_xy(1, 1)
+        reason = ad.rejection_reason(acceptable)
+        assert reason.startswith("no rejection: AD-6 would accept")
 
 
 class TestTraceCli:
